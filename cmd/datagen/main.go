@@ -1,0 +1,105 @@
+// Command datagen emits the synthetic drifted datasets as CSV files for
+// external analysis:
+//
+//	datagen -dataset 5gc -out ./data
+//
+// writes data/5gc_source.csv, data/5gc_target_train.csv,
+// data/5gc_target_test.csv (plus _target2_* files for -targets 2 on 5gipc).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netdrift/internal/dataset"
+	"netdrift/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ds      = flag.String("dataset", "5gc", "dataset: 5gc|5gipc")
+		scale   = flag.String("scale", "full", "size: quick|bench|full")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		out     = flag.String("out", ".", "output directory")
+		targets = flag.Int("targets", 1, "number of target domains (5gipc only; 1 or 2)")
+	)
+	flag.Parse()
+
+	sc, ok := experiments.ScaleByName(*scale)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, d *dataset.Dataset) error {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteCSV(f, d); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s (%d samples x %d features)\n", path, d.NumSamples(), d.NumFeatures())
+		return f.Close()
+	}
+
+	switch *ds {
+	case "5gc":
+		d, err := dataset.Synthetic5GC(dataset.FiveGCConfig{
+			Seed: *seed, SourceSamples: sc.GCSource,
+			TargetTrainPool: sc.GCTargetPool, TargetTestSamples: sc.GCTargetTest,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ground-truth variant features: %v\n", d.TrueVariant)
+		if err := write("5gc_source.csv", d.Source); err != nil {
+			return err
+		}
+		if err := write("5gc_target_train.csv", d.TargetTrain); err != nil {
+			return err
+		}
+		return write("5gc_target_test.csv", d.TargetTest)
+	case "5gipc":
+		d, err := dataset.Synthetic5GIPC(dataset.FiveGIPCConfig{
+			Seed: *seed, SourceNormal: sc.IPCSourceNormal, SourceFaults: sc.IPCSourceFaults,
+			TargetNormal: sc.IPCTargetNormal, TargetFaults: sc.IPCTargetFaults,
+			TargetTrainPerGroup: sc.IPCTrainPool, NumTargets: *targets,
+		})
+		if err != nil {
+			return err
+		}
+		if err := write("5gipc_source.csv", d.Source); err != nil {
+			return err
+		}
+		for t, tgt := range d.Targets {
+			suffix := ""
+			if t > 0 {
+				suffix = fmt.Sprintf("%d", t+1)
+			}
+			fmt.Printf("target%s ground-truth variant features: %v\n", suffix, tgt.TrueVariant)
+			if err := write(fmt.Sprintf("5gipc_target%s_train.csv", suffix), tgt.Train); err != nil {
+				return err
+			}
+			if err := write(fmt.Sprintf("5gipc_target%s_test.csv", suffix), tgt.Test); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown dataset %q", *ds)
+	}
+}

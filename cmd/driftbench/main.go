@@ -1,0 +1,162 @@
+// Command driftbench regenerates the paper's evaluation tables and
+// analyses on the synthetic datasets:
+//
+//	driftbench -exp table1 -dataset 5gc            # Table I (one dataset)
+//	driftbench -exp table2 -dataset 5gipc          # Table II ablation
+//	driftbench -exp table3                         # Table III multi-target
+//	driftbench -exp sensitivity -dataset 5gc       # §VI-C variant counts
+//	driftbench -exp variance -dataset 5gipc        # §VI-C draw variance
+//	driftbench -exp indomain -dataset 5gc          # §VI-B(a) in-domain check
+//	driftbench -exp all                            # everything, both datasets
+//
+// -scale quick|bench|full trades fidelity for wall-clock time (see
+// internal/experiments.Scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"netdrift/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "driftbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "table1", "experiment: table1|table2|table3|sensitivity|variance|indomain|all")
+		ds      = flag.String("dataset", "5gc", "dataset: 5gc|5gipc (ignored by table3)")
+		scale   = flag.String("scale", "bench", "compute scale: quick|bench|full")
+		shots   = flag.String("shots", "1,5,10", "comma-separated target shots per class")
+		repeats = flag.Int("repeats", 3, "few-shot draws averaged per cell")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		methods = flag.String("methods", "", "comma-separated Table I method filter (empty = all)")
+		verbose = flag.Bool("v", false, "print per-cell progress")
+	)
+	flag.Parse()
+
+	sc, ok := experiments.ScaleByName(*scale)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	shotList, err := parseShots(*shots)
+	if err != nil {
+		return err
+	}
+	var progress func(string)
+	if *verbose {
+		start := time.Now()
+		progress = func(s string) {
+			fmt.Printf("[%7s] %s\n", time.Since(start).Round(time.Second), s)
+		}
+	}
+	var filter []string
+	if *methods != "" {
+		filter = strings.Split(*methods, ",")
+	}
+
+	runOne := func(kind, dataset string) error {
+		switch kind {
+		case "table1":
+			res, err := experiments.RunTable1(experiments.Table1Config{
+				Dataset: dataset, Shots: shotList, Repeats: *repeats,
+				Seed: *seed, Scale: sc, Methods: filter, Progress: progress,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable1(res))
+		case "table2":
+			res, err := experiments.RunTable2(experiments.Table2Config{
+				Dataset: dataset, Shots: shotList, Repeats: *repeats,
+				Seed: *seed, Scale: sc, Progress: progress,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable2(res))
+		case "table3":
+			res, err := experiments.RunTable3(experiments.Table3Config{
+				Shots: shotList, Repeats: *repeats, Seed: *seed, Scale: sc, Progress: progress,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatTable3(res))
+		case "sensitivity":
+			res, err := experiments.RunVariantCounts(experiments.SensitivityConfig{
+				Dataset: dataset, Shots: shotList, Repeats: *repeats,
+				Seed: *seed, Scale: sc, Progress: progress,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatVariantCounts(res))
+		case "variance":
+			shot := 5
+			if len(shotList) == 1 {
+				shot = shotList[0]
+			}
+			res, err := experiments.RunVariance(experiments.SensitivityConfig{
+				Dataset: dataset, Repeats: *repeats, Seed: *seed, Scale: sc, Progress: progress,
+			}, shot)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatVariance(res))
+		case "indomain":
+			res, err := experiments.RunInDomain(experiments.SensitivityConfig{
+				Dataset: dataset, Seed: *seed, Scale: sc, Progress: progress,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatInDomain(res))
+		default:
+			return fmt.Errorf("unknown experiment %q", kind)
+		}
+		return nil
+	}
+
+	if *exp != "all" {
+		return runOne(*exp, *ds)
+	}
+	for _, dataset := range []string{"5gc", "5gipc"} {
+		for _, kind := range []string{"indomain", "table1", "table2", "sensitivity", "variance"} {
+			fmt.Printf("\n=== %s / %s ===\n", kind, dataset)
+			if err := runOne(kind, dataset); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("\n=== table3 ===\n")
+	return runOne("table3", "")
+}
+
+func parseShots(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid shot count %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shot counts given")
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseShots(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "1,5,10", want: []int{1, 5, 10}},
+		{in: " 5 ", want: []int{5}},
+		{in: "1,,5", want: []int{1, 5}},
+		{in: "", wantErr: true},
+		{in: "a", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "-3", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseShots(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseShots(%q): expected error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShots(%q): %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseShots(%q) = %v; want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseShots(%q) = %v; want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}

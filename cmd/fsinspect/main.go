@@ -1,0 +1,144 @@
+// Command fsinspect runs the FS causal feature separation on a synthetic
+// drifted dataset and reports the identified domain-variant features
+// against the generator's ground-truth intervention targets:
+//
+//	fsinspect -dataset 5gc -shots 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"netdrift/internal/causal"
+	"netdrift/internal/core"
+	"netdrift/internal/dataset"
+	"netdrift/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fsinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		ds    = flag.String("dataset", "5gc", "dataset: 5gc|5gipc")
+		scale = flag.String("scale", "bench", "compute scale: quick|bench|full")
+		shots = flag.Int("shots", 5, "target training samples per class")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+		alpha = flag.Float64("alpha", 0.01, "CI-test significance level")
+	)
+	flag.Parse()
+
+	sc, ok := experiments.ScaleByName(*scale)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	truth, names, err := groundTruth(*ds, sc, *seed)
+	if err != nil {
+		return err
+	}
+	pair, err := experiments.MakePair(*ds, sc, *seed)
+	if err != nil {
+		return err
+	}
+	support, _, err := pair.TargetTrain.FewShot(*shots, pair.UseGroups, rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		return err
+	}
+
+	sep := core.NewFeatureSeparator(causal.FNodeConfig{Alpha: *alpha})
+	if err := sep.Fit(pair.Source.X, support.X); err != nil {
+		return err
+	}
+	variant := sep.Variant()
+
+	isTrue := make(map[int]bool, len(truth))
+	for _, v := range truth {
+		isTrue[v] = true
+	}
+	var tp int
+	var falsePos []int
+	for _, v := range variant {
+		if isTrue[v] {
+			tp++
+		} else {
+			falsePos = append(falsePos, v)
+		}
+	}
+	found := make(map[int]bool, len(variant))
+	for _, v := range variant {
+		found[v] = true
+	}
+	var missed []int
+	for _, v := range truth {
+		if !found[v] {
+			missed = append(missed, v)
+		}
+	}
+	sort.Ints(missed)
+
+	fmt.Printf("dataset=%s shots=%d source=%d support=%d features=%d\n",
+		*ds, *shots, pair.Source.NumSamples(), support.NumSamples(), pair.Source.NumFeatures())
+	fmt.Printf("ground-truth variant features: %d\n", len(truth))
+	fmt.Printf("FS identified:                 %d\n", len(variant))
+	recall := 0.0
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	precision := 0.0
+	if len(variant) > 0 {
+		precision = float64(tp) / float64(len(variant))
+	}
+	fmt.Printf("recall=%.2f precision=%.2f\n\n", recall, precision)
+
+	fmt.Println("identified variant features:")
+	for _, v := range variant {
+		mark := " "
+		if !isTrue[v] {
+			mark = "✗ (false positive)"
+		}
+		fmt.Printf("  %4d %-24s %s\n", v, names[v], mark)
+	}
+	if len(missed) > 0 {
+		fmt.Println("\nmissed intervention targets (need more target samples):")
+		for _, v := range missed {
+			fmt.Printf("  %4d %s\n", v, names[v])
+		}
+	}
+	_ = falsePos
+	return nil
+}
+
+// groundTruth regenerates the dataset to expose the intervention targets
+// and feature names.
+func groundTruth(name string, sc experiments.Scale, seed int64) ([]int, []string, error) {
+	switch name {
+	case "5gc":
+		d, err := dataset.Synthetic5GC(dataset.FiveGCConfig{
+			Seed: seed, SourceSamples: sc.GCSource,
+			TargetTrainPool: sc.GCTargetPool, TargetTestSamples: sc.GCTargetTest,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.TrueVariant, d.Source.FeatureNames, nil
+	case "5gipc":
+		d, err := dataset.Synthetic5GIPC(dataset.FiveGIPCConfig{
+			Seed: seed, SourceNormal: sc.IPCSourceNormal, SourceFaults: sc.IPCSourceFaults,
+			TargetNormal: sc.IPCTargetNormal, TargetFaults: sc.IPCTargetFaults,
+			TargetTrainPerGroup: sc.IPCTrainPool,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return d.Targets[0].TrueVariant, d.Source.FeatureNames, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}

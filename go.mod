@@ -1,0 +1,3 @@
+module netdrift
+
+go 1.22

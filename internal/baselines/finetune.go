@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netdrift/internal/dataset"
+	"netdrift/internal/models"
+	"netdrift/internal/nn"
+)
+
+// FineTune pre-trains an MLP on the source domain and then re-optimizes all
+// parameters on the few-shot target support at a lower learning rate. The
+// paper applies this baseline to the MLP model only (§VI-B(a)) and
+// fine-tunes all parameters rather than the last layer.
+type FineTune struct {
+	PretrainEpochs int     // default 30
+	TuneEpochs     int     // default 60 (tiny support set)
+	LR             float64 // pretrain LR; default 1e-3
+	TuneLR         float64 // fine-tune LR; default 2e-4
+	Seed           int64
+}
+
+var _ Method = (*FineTune)(nil)
+
+// Name implements Method.
+func (*FineTune) Name() string { return "Fine-tune" }
+
+// ModelAgnostic implements Method: the paper restricts this baseline to the
+// MLP architecture.
+func (*FineTune) ModelAgnostic() bool { return false }
+
+// Predict implements Method.
+func (m *FineTune) Predict(source, support, test *dataset.Dataset, _ models.Classifier) ([]int, error) {
+	if err := validateInputs(source, support, test, true); err != nil {
+		return nil, err
+	}
+	pre := m.PretrainEpochs
+	if pre == 0 {
+		pre = 30
+	}
+	tune := m.TuneEpochs
+	if tune == 0 {
+		tune = 60
+	}
+	lr := m.LR
+	if lr == 0 {
+		lr = 1e-3
+	}
+	tuneLR := m.TuneLR
+	if tuneLR == 0 {
+		tuneLR = 2e-4
+	}
+	numClasses := numClassesOf(source, support, test)
+	scaled, err := zScale(source.X, source.X, support.X, test.X)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	net := nn.NewMLP(nn.MLPConfig{
+		In:      source.NumFeatures(),
+		Hidden:  []int{128, 64},
+		Out:     numClasses,
+		Dropout: 0.1,
+		Rng:     rng,
+	})
+	if err := trainNet(net, scaled[0], source.Y, pre, 64, lr, rng); err != nil {
+		return nil, fmt.Errorf("baselines: finetune pretrain: %w", err)
+	}
+	if err := trainNet(net, scaled[1], support.Y, tune, 16, tuneLR, rng); err != nil {
+		return nil, fmt.Errorf("baselines: finetune tune: %w", err)
+	}
+	return argmaxForward(net, scaled[2]), nil
+}
+
+func trainNet(net *nn.Network, x [][]float64, y []int, epochs, batch int, lr float64, rng *rand.Rand) error {
+	opt := nn.NewAdam(lr, 1e-5)
+	params := net.Params()
+	for e := 0; e < epochs; e++ {
+		for _, idx := range nn.Minibatches(len(x), batch, rng) {
+			out := net.Forward(nn.Gather(x, idx), true)
+			_, grad, err := nn.SoftmaxCE(out, nn.GatherLabels(y, idx))
+			if err != nil {
+				return err
+			}
+			net.Backward(grad)
+			opt.Step(params)
+		}
+	}
+	return nil
+}
+
+func argmaxForward(net *nn.Network, x [][]float64) []int {
+	logits := net.Forward(x, false)
+	out := make([]int, len(logits))
+	for i, row := range logits {
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package causal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdrift/internal/dataset"
+	"netdrift/internal/scm"
+)
+
+func TestPartialCorrChain(t *testing.T) {
+	// X -> Y -> Z: corr(X,Z) != 0 but partial corr(X,Z | Y) ~ 0.
+	rng := rand.New(rand.NewSource(1))
+	n := 3000
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := 2*a + 0.3*rng.NormFloat64()
+		c := -b + 0.3*rng.NormFloat64()
+		x[i] = []float64{a, b, c}
+	}
+	corr, err := CorrMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := PartialCorr(corr, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(marg) < 0.8 {
+		t.Errorf("marginal corr(X,Z) = %v; want strong", marg)
+	}
+	part, err := PartialCorr(corr, 0, 2, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part) > 0.1 {
+		t.Errorf("partial corr(X,Z|Y) = %v; want ~0", part)
+	}
+}
+
+func TestPartialCorrSelf(t *testing.T) {
+	corr, _ := CorrMatrix([][]float64{{1, 2}, {2, 1}, {3, 3}, {0, 1}})
+	r, err := PartialCorr(corr, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("self partial corr = %v; want 1", r)
+	}
+}
+
+func TestCITester(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 800
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		x[i] = []float64{a, a + 0.1*rng.NormFloat64(), rng.NormFloat64()}
+	}
+	tester, err := NewCITester(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tester.N() != n {
+		t.Errorf("N = %d; want %d", tester.N(), n)
+	}
+	pDep, err := tester.PValue(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pDep > 1e-10 {
+		t.Errorf("p-value for dependent pair = %v; want ~0", pDep)
+	}
+	pInd, err := tester.PValue(0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pInd < 0.01 {
+		t.Errorf("p-value for independent pair = %v; want > 0.01", pInd)
+	}
+}
+
+func TestNewCITesterTooFewSamples(t *testing.T) {
+	if _, err := NewCITester([][]float64{{1, 2}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v; want ErrNoData", err)
+	}
+}
+
+// buildShiftScenario samples a small SCM observationally and under soft
+// interventions on known targets.
+func buildShiftScenario(t *testing.T, nSrc, nTgt int, seed int64) (src, tgt [][]float64, targets []int) {
+	t.Helper()
+	model, err := scm.RandomModel(scm.RandomConfig{NumFeatures: 20, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intervene on leaf-ish nodes: pick targets without descendants among
+	// later nodes by taking nodes whose index never appears as a parent.
+	hasChild := make([]bool, 20)
+	for _, nd := range model.Nodes {
+		for _, p := range nd.Parents {
+			hasChild[p] = true
+		}
+	}
+	var leaves []int
+	for i, hc := range hasChild {
+		if !hc {
+			leaves = append(leaves, i)
+		}
+	}
+	if len(leaves) < 3 {
+		t.Fatalf("model has too few leaves: %v", leaves)
+	}
+	var ivs []scm.Intervention
+	for _, l := range leaves[:3] {
+		ivs = append(ivs, scm.Intervention{Target: l, Kind: scm.MeanShift, Amount: 3})
+	}
+	src, err = model.Sample(scm.SampleConfig{N: nSrc, Rng: rand.New(rand.NewSource(seed + 1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err = model.Sample(scm.SampleConfig{N: nTgt, Interventions: ivs, Rng: rand.New(rand.NewSource(seed + 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, tgt, scm.Targets(ivs)
+}
+
+func TestFindVariantFeaturesRecoversTargets(t *testing.T) {
+	src, tgt, targets := buildShiftScenario(t, 1500, 300, 7)
+	res, err := FindVariantFeatures(src, tgt, FNodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, v := range res.Variant {
+		found[v] = true
+	}
+	for _, want := range targets {
+		if !found[want] {
+			t.Errorf("true target %d not identified; variant = %v", want, res.Variant)
+		}
+	}
+	// Precision: at most a couple of false positives on 17 invariant
+	// features at alpha=0.01.
+	if extras := len(res.Variant) - len(targets); extras > 2 {
+		t.Errorf("%d false-positive variant features: %v (targets %v)", extras, res.Variant, targets)
+	}
+	if len(res.Variant)+len(res.Invariant) != 20 {
+		t.Error("variant + invariant must partition the features")
+	}
+}
+
+func TestFindVariantFeaturesFewShotPower(t *testing.T) {
+	// Detection count grows with target sample size (paper §VI-C).
+	var counts []int
+	for _, nTgt := range []int{12, 60, 300} {
+		src, tgt, _ := buildShiftScenario(t, 1500, nTgt, 11)
+		res, err := FindVariantFeatures(src, tgt, FNodeConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(res.Variant))
+	}
+	if counts[0] > counts[2] {
+		t.Errorf("variant count should not shrink with more target data: %v", counts)
+	}
+	if counts[2] == 0 {
+		t.Error("no variant features found with 300 target samples")
+	}
+}
+
+func TestFindVariantFeaturesNoShift(t *testing.T) {
+	// Same distribution in both domains: nearly nothing should be flagged.
+	model, err := scm.RandomModel(scm.RandomConfig{NumFeatures: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := model.Sample(scm.SampleConfig{N: 1000, Rng: rand.New(rand.NewSource(4))})
+	tgt, _ := model.Sample(scm.SampleConfig{N: 200, Rng: rand.New(rand.NewSource(5))})
+	res, err := FindVariantFeatures(src, tgt, FNodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variant) > 1 {
+		t.Errorf("false positives without shift: %v", res.Variant)
+	}
+}
+
+func TestFindVariantFeaturesErrors(t *testing.T) {
+	if _, err := FindVariantFeatures(nil, [][]float64{{1}}, FNodeConfig{}); err == nil {
+		t.Error("expected error for empty source")
+	}
+	if _, err := FindVariantFeatures([][]float64{{1, 2}}, [][]float64{{1}}, FNodeConfig{}); err == nil {
+		t.Error("expected error for width mismatch")
+	}
+}
+
+func TestMarginalOnlyFlagsDescendants(t *testing.T) {
+	// Chain X0 -> X1 -> X2 with intervention on X0: marginal-only flags the
+	// whole chain; the conditional search exonerates the descendants.
+	model := &scm.Model{Nodes: []scm.Node{
+		{NL: scm.Linear, NoiseStd: 1},
+		{Parents: []int{0}, Weights: []float64{1.5}, NL: scm.Linear, NoiseStd: 0.4},
+		{Parents: []int{1}, Weights: []float64{1.2}, NL: scm.Linear, NoiseStd: 0.4},
+		{NL: scm.Linear, NoiseStd: 1}, // unrelated
+	}}
+	ivs := []scm.Intervention{{Target: 0, Kind: scm.MeanShift, Amount: 4}}
+	src, err := model.Sample(scm.SampleConfig{N: 2000, Rng: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := model.Sample(scm.SampleConfig{N: 500, Interventions: ivs, Rng: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	marg, err := FindVariantFeatures(src, tgt, FNodeConfig{MarginalOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marg.Variant) < 3 {
+		t.Errorf("marginal-only should flag the full chain, got %v", marg.Variant)
+	}
+
+	cond, err := FindVariantFeatures(src, tgt, FNodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(cond.Variant, 0) {
+		t.Errorf("conditional search must keep the true target 0: %v", cond.Variant)
+	}
+	if contains(cond.Variant, 2) {
+		t.Errorf("conditional search should exonerate descendant 2: %v", cond.Variant)
+	}
+}
+
+func TestFindVariantOn5GCGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5GC-scale FS test skipped in -short mode")
+	}
+	d, err := dataset.Synthetic5GC(dataset.FiveGCConfig{
+		Seed: 13, SourceSamples: 800, TargetTrainPool: 160, TargetTestSamples: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindVariantFeatures(d.Source.X, d.TargetTrain.X, FNodeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int]bool{}
+	for _, v := range d.TrueVariant {
+		truth[v] = true
+	}
+	var tp int
+	for _, v := range res.Variant {
+		if truth[v] {
+			tp++
+		}
+	}
+	recall := float64(tp) / float64(len(d.TrueVariant))
+	precision := 0.0
+	if len(res.Variant) > 0 {
+		precision = float64(tp) / float64(len(res.Variant))
+	}
+	if recall < 0.5 {
+		t.Errorf("recall = %.2f (found %d of %d); want >= 0.5", recall, tp, len(d.TrueVariant))
+	}
+	if precision < 0.7 {
+		t.Errorf("precision = %.2f; want >= 0.7", precision)
+	}
+	t.Logf("5GC FS: %d variant found, recall %.2f precision %.2f", len(res.Variant), recall, precision)
+}
+
+func TestPCSkeletonChain(t *testing.T) {
+	// X0 -> X1 -> X2: PC should keep edges (0,1), (1,2) and drop (0,2).
+	rng := rand.New(rand.NewSource(8))
+	n := 3000
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := 1.5*a + 0.4*rng.NormFloat64()
+		c := 1.2*b + 0.4*rng.NormFloat64()
+		x[i] = []float64{a, b, c}
+	}
+	sk, err := PCSkeleton(x, PCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sk.Adj[0][1] || !sk.Adj[1][2] {
+		t.Error("chain edges missing")
+	}
+	if sk.Adj[0][2] {
+		t.Error("transitive edge (0,2) should be removed by conditioning on 1")
+	}
+	if sk.NumEdges() != 2 {
+		t.Errorf("edges = %d; want 2", sk.NumEdges())
+	}
+	if n := sk.Neighbors(1); len(n) != 2 {
+		t.Errorf("neighbors of 1 = %v; want [0 2]", n)
+	}
+}
+
+func TestPCSkeletonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 1500
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	sk, err := PCSkeleton(x, PCConfig{Alpha: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.NumEdges() != 0 {
+		t.Errorf("independent data has %d edges; want 0", sk.NumEdges())
+	}
+}
+
+func TestSubsetsUpTo(t *testing.T) {
+	got := subsetsUpTo([]int{1, 2, 3}, 2)
+	// 3 singletons + 3 pairs.
+	if len(got) != 6 {
+		t.Errorf("subsets = %v; want 6 sets", got)
+	}
+	if len(subsetsUpTo(nil, 2)) != 0 {
+		t.Error("empty pool should have no subsets")
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+// Package causal implements the constraint-based causal machinery behind
+// the paper's FS method: Fisher-z conditional-independence tests on a
+// pooled source+target dataset augmented with an F-node (domain indicator),
+// and the PC-style neighbourhood search that identifies soft-intervention
+// targets — the domain-variant features (§V-A). A generic order-limited PC
+// skeleton search is included for causal-graph exploration.
+package causal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netdrift/internal/mat"
+	"netdrift/internal/stats"
+)
+
+// CorrMatrix computes the Pearson correlation matrix of the columns of x.
+func CorrMatrix(x [][]float64) (*mat.Matrix, error) {
+	m, err := mat.FromRows(x)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := mat.Covariance(m)
+	if err != nil {
+		return nil, err
+	}
+	return mat.CorrelationFromCov(cov), nil
+}
+
+// PartialCorr computes the partial correlation between variables i and j
+// given the conditioning set cond, from a full correlation matrix. It uses
+// the precision-matrix identity ρ_{ij·S} = -P_ij / sqrt(P_ii P_jj) over the
+// submatrix restricted to {i, j} ∪ S.
+func PartialCorr(corr *mat.Matrix, i, j int, cond []int) (float64, error) {
+	if i == j {
+		return 1, nil
+	}
+	if len(cond) == 0 {
+		return corr.At(i, j), nil
+	}
+	idx := make([]int, 0, 2+len(cond))
+	idx = append(idx, i, j)
+	idx = append(idx, cond...)
+	sub, err := corr.SubMatrix(idx, idx)
+	if err != nil {
+		return 0, err
+	}
+	// Ridge for numerical safety with nearly collinear telemetry columns.
+	for k := 0; k < len(idx); k++ {
+		sub.Set(k, k, sub.At(k, k)+1e-8)
+	}
+	prec, err := mat.Inverse(sub)
+	if err != nil {
+		return 0, fmt.Errorf("causal: precision of conditioning set: %w", err)
+	}
+	den := prec.At(0, 0) * prec.At(1, 1)
+	if den <= 0 {
+		return 0, nil
+	}
+	r := -prec.At(0, 1) / math.Sqrt(den)
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// CITester runs Fisher-z conditional-independence tests against a fixed
+// dataset's correlation matrix.
+type CITester struct {
+	corr *mat.Matrix
+	n    int
+}
+
+// ErrNoData is returned when a tester is built from an empty dataset.
+var ErrNoData = errors.New("causal: empty dataset")
+
+// NewCITester precomputes the correlation structure of x (rows = samples).
+func NewCITester(x [][]float64) (*CITester, error) {
+	if len(x) < 4 {
+		return nil, fmt.Errorf("%w: need >= 4 samples, have %d", ErrNoData, len(x))
+	}
+	corr, err := CorrMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	return &CITester{corr: corr, n: len(x)}, nil
+}
+
+// PValue returns the Fisher-z two-sided p-value for the hypothesis
+// X_i ⟂ X_j | X_cond.
+func (t *CITester) PValue(i, j int, cond []int) (float64, error) {
+	r, err := PartialCorr(t.corr, i, j, cond)
+	if err != nil {
+		return 0, err
+	}
+	return stats.FisherZPValue(r, t.n, len(cond)), nil
+}
+
+// Corr exposes the underlying correlation matrix (read-only use).
+func (t *CITester) Corr() *mat.Matrix { return t.corr }
+
+// N returns the sample count the tester was built from.
+func (t *CITester) N() int { return t.n }

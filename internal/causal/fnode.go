@@ -1,0 +1,191 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FNodeConfig tunes the F-node variant-feature search.
+type FNodeConfig struct {
+	// Alpha is the CI-test significance level: a feature stays a variant
+	// candidate only while every test rejects independence at this level.
+	// Default 0.01.
+	Alpha float64
+	// ExonerationAlpha is the (stricter) threshold a conditional test must
+	// clear to exonerate a candidate: the dependence on F must look
+	// convincingly explained away (p >= ExonerationAlpha), not merely fail
+	// a 1% rejection. This guards against finite-sample explain-away via
+	// co-intervened sibling features. Default 0.25.
+	ExonerationAlpha float64
+	// MaxOrder bounds conditioning-set size (default 2).
+	MaxOrder int
+	// MaxNeighbors bounds the candidate parent pool per feature: the
+	// features most correlated with it (default 5). The Ψ-FCI adaptation in
+	// the paper likewise only explores direct relationships with the F-node
+	// rather than the full graph (§VI-D).
+	MaxNeighbors int
+	// MarginalOnly skips the conditioning stage entirely — the behaviour of
+	// weaker invariance baselines such as ICD in our setting.
+	MarginalOnly bool
+}
+
+func (c *FNodeConfig) applyDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.ExonerationAlpha == 0 {
+		c.ExonerationAlpha = 0.25
+	}
+	if c.MaxOrder == 0 {
+		c.MaxOrder = 2
+	}
+	if c.MaxNeighbors == 0 {
+		c.MaxNeighbors = 5
+	}
+}
+
+// FNodeResult reports the variant-feature identification.
+type FNodeResult struct {
+	// Variant lists the identified domain-variant feature indices (sorted).
+	Variant []int
+	// Invariant lists the remaining feature indices (sorted).
+	Invariant []int
+	// MarginalP holds each feature's marginal p-value against the F-node.
+	MarginalP []float64
+}
+
+// FindVariantFeatures pools source (F=0) and target (F=1) samples, appends
+// the F-node as an extra column, and runs the PC-style search restricted to
+// the F-node's neighbourhood:
+//
+//  1. Features marginally independent of F (p >= Alpha) are invariant.
+//  2. A remaining feature X is exonerated if some conditioning set S drawn
+//     from X's most-correlated features satisfies X ⟂ F | S — i.e. the
+//     dependence on the domain flows through other features rather than an
+//     intervention on X itself.
+//  3. Features never exonerated are the intervention targets: the
+//     domain-variant features R with P_A(R|Pa(R)) ≠ P_C(R|Pa(R)).
+func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeResult, error) {
+	cfg.applyDefaults()
+	if len(source) == 0 || len(target) == 0 {
+		return nil, fmt.Errorf("%w: source %d, target %d rows", ErrNoData, len(source), len(target))
+	}
+	d := len(source[0])
+	if d == 0 || len(target[0]) != d {
+		return nil, fmt.Errorf("causal: width mismatch source %d target %d", d, len(target[0]))
+	}
+
+	// Pooled dataset with the F-node as column d.
+	pooled := make([][]float64, 0, len(source)+len(target))
+	for _, row := range source {
+		r := make([]float64, d+1)
+		copy(r, row)
+		pooled = append(pooled, r)
+	}
+	for _, row := range target {
+		r := make([]float64, d+1)
+		copy(r, row)
+		r[d] = 1
+		pooled = append(pooled, r)
+	}
+	tester, err := NewCITester(pooled)
+	if err != nil {
+		return nil, err
+	}
+	fNode := d
+
+	res := &FNodeResult{MarginalP: make([]float64, d)}
+	var candidates []int
+	for x := 0; x < d; x++ {
+		p, err := tester.PValue(x, fNode, nil)
+		if err != nil {
+			return nil, fmt.Errorf("causal: marginal test feature %d: %w", x, err)
+		}
+		res.MarginalP[x] = p
+		if p < cfg.Alpha {
+			candidates = append(candidates, x)
+		} else {
+			res.Invariant = append(res.Invariant, x)
+		}
+	}
+
+	for _, x := range candidates {
+		exonerated := false
+		if !cfg.MarginalOnly {
+			neighbors := topNeighbors(tester, x, fNode, cfg.MaxNeighbors)
+			for _, cond := range subsetsUpTo(neighbors, cfg.MaxOrder) {
+				p, err := tester.PValue(x, fNode, cond)
+				if err != nil {
+					return nil, fmt.Errorf("causal: conditional test feature %d: %w", x, err)
+				}
+				if p >= cfg.ExonerationAlpha {
+					exonerated = true
+					break
+				}
+			}
+		}
+		if exonerated {
+			res.Invariant = append(res.Invariant, x)
+		} else {
+			res.Variant = append(res.Variant, x)
+		}
+	}
+	sort.Ints(res.Variant)
+	sort.Ints(res.Invariant)
+	return res, nil
+}
+
+// topNeighbors returns the k features most correlated with x (excluding x
+// itself and the F-node), as candidate members of Pa(x).
+func topNeighbors(t *CITester, x, fNode, k int) []int {
+	type scored struct {
+		idx int
+		r   float64
+	}
+	d := fNode // features are 0..fNode-1
+	all := make([]scored, 0, d-1)
+	for j := 0; j < d; j++ {
+		if j == x {
+			continue
+		}
+		r := t.corr.At(x, j)
+		if r < 0 {
+			r = -r
+		}
+		all = append(all, scored{idx: j, r: r})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].r > all[b].r })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].idx
+	}
+	return out
+}
+
+// subsetsUpTo enumerates all non-empty subsets of items with size <=
+// maxSize, smallest first.
+func subsetsUpTo(items []int, maxSize int) [][]int {
+	var out [][]int
+	n := len(items)
+	if maxSize > n {
+		maxSize = n
+	}
+	var rec func(start int, cur []int)
+	for size := 1; size <= maxSize; size++ {
+		size := size
+		rec = func(start int, cur []int) {
+			if len(cur) == size {
+				out = append(out, append([]int(nil), cur...))
+				return
+			}
+			for i := start; i < n; i++ {
+				rec(i+1, append(cur, items[i]))
+			}
+		}
+		rec(0, nil)
+	}
+	return out
+}

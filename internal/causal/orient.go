@@ -1,0 +1,255 @@
+package causal
+
+import "fmt"
+
+// EdgeMark is the orientation state of a directed mark in a CPDAG.
+type EdgeMark int
+
+// Edge marks in the partially directed graph.
+const (
+	MarkNone EdgeMark = iota // no edge
+	MarkUndirected
+	MarkDirected // tail at i, arrowhead at j for Dir[i][j]
+)
+
+// CPDAG is a completed partially directed acyclic graph: the output of the
+// PC orientation phase. Edge (i, j) is represented as:
+//
+//   - undirected:  Undirected[i][j] == Undirected[j][i] == true
+//   - directed i→j: Directed[i][j] == true
+type CPDAG struct {
+	Undirected [][]bool
+	Directed   [][]bool
+}
+
+// NumNodes returns the graph's node count.
+func (g *CPDAG) NumNodes() int { return len(g.Undirected) }
+
+// HasEdge reports whether any edge (directed either way or undirected)
+// joins i and j.
+func (g *CPDAG) HasEdge(i, j int) bool {
+	return g.Undirected[i][j] || g.Directed[i][j] || g.Directed[j][i]
+}
+
+// Parents returns the nodes with a directed edge into x.
+func (g *CPDAG) Parents(x int) []int {
+	var out []int
+	for i := range g.Directed {
+		if g.Directed[i][x] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OrientSkeleton applies the PC orientation phase to a learned skeleton:
+// v-structures from the separating sets, then Meek's rules 1-3 to
+// propagate orientations without creating cycles or new v-structures.
+// sepsets maps unordered pairs (key via SepKey) to a separating set found
+// during skeleton search; pairs without an entry are treated as never
+// separated.
+func OrientSkeleton(sk *Skeleton, sepsets map[[2]int][]int) (*CPDAG, error) {
+	if sk == nil || len(sk.Adj) == 0 {
+		return nil, fmt.Errorf("causal: empty skeleton")
+	}
+	d := len(sk.Adj)
+	g := &CPDAG{
+		Undirected: make([][]bool, d),
+		Directed:   make([][]bool, d),
+	}
+	for i := range g.Undirected {
+		g.Undirected[i] = make([]bool, d)
+		g.Directed[i] = make([]bool, d)
+		copy(g.Undirected[i], sk.Adj[i])
+	}
+
+	// v-structures: for each unshielded triple i - k - j with i, j non-
+	// adjacent, orient i→k←j iff k is not in sepset(i, j).
+	for k := 0; k < d; k++ {
+		for i := 0; i < d; i++ {
+			if i == k || !sk.Adj[i][k] {
+				continue
+			}
+			for j := i + 1; j < d; j++ {
+				if j == k || !sk.Adj[j][k] || sk.Adj[i][j] {
+					continue
+				}
+				sep, ok := sepsets[SepKey(i, j)]
+				if ok && containsInt(sep, k) {
+					continue
+				}
+				orient(g, i, k)
+				orient(g, j, k)
+			}
+		}
+	}
+
+	// Meek rules, applied to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				if !g.Undirected[i][j] {
+					continue
+				}
+				if meekApplies(g, i, j) {
+					orient(g, i, j)
+					changed = true
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// SepKey normalizes an unordered node pair into a map key.
+func SepKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+func orient(g *CPDAG, from, to int) {
+	if g.Directed[to][from] {
+		// Conflicting v-structure evidence: leave the earlier orientation
+		// (standard conservative resolution).
+		return
+	}
+	g.Undirected[from][to] = false
+	g.Undirected[to][from] = false
+	g.Directed[from][to] = true
+}
+
+// meekApplies reports whether any of Meek's rules 1-3 orient i→j.
+func meekApplies(g *CPDAG, i, j int) bool {
+	d := g.NumNodes()
+	// Rule 1: k→i and k, j non-adjacent ⇒ i→j (else new v-structure).
+	for k := 0; k < d; k++ {
+		if g.Directed[k][i] && !g.HasEdge(k, j) {
+			return true
+		}
+	}
+	// Rule 2: directed path i→k→j ⇒ i→j (else cycle).
+	for k := 0; k < d; k++ {
+		if g.Directed[i][k] && g.Directed[k][j] {
+			return true
+		}
+	}
+	// Rule 3: i - k, i - l, k→j, l→j, k and l non-adjacent ⇒ i→j.
+	for k := 0; k < d; k++ {
+		if !g.Undirected[i][k] || !g.Directed[k][j] {
+			continue
+		}
+		for l := k + 1; l < d; l++ {
+			if g.Undirected[i][l] && g.Directed[l][j] && !g.HasEdge(k, l) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PCWithOrientation runs the order-limited PC skeleton search, records
+// separating sets, and applies the orientation phase — the full (order-
+// limited) PC algorithm the paper's FS method specializes (§V-A2).
+func PCWithOrientation(x [][]float64, cfg PCConfig) (*CPDAG, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.01
+	}
+	if cfg.MaxOrder == 0 {
+		cfg.MaxOrder = 2
+	}
+	tester, err := NewCITester(x)
+	if err != nil {
+		return nil, err
+	}
+	d := len(x[0])
+	sk := &Skeleton{Adj: make([][]bool, d)}
+	for i := range sk.Adj {
+		sk.Adj[i] = make([]bool, d)
+		for j := range sk.Adj[i] {
+			sk.Adj[i][j] = i != j
+		}
+	}
+	sepsets := make(map[[2]int][]int)
+
+	for order := 0; order <= cfg.MaxOrder; order++ {
+		type removal struct {
+			i, j int
+			sep  []int
+		}
+		var removals []removal
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if !sk.Adj[i][j] {
+					continue
+				}
+				pool := neighborsExcluding(sk, i, j)
+				if len(pool) < order {
+					continue
+				}
+				sep, found, err := findSeparator(tester, i, j, pool, order, cfg.Alpha)
+				if err != nil {
+					return nil, fmt.Errorf("causal: pc edge (%d,%d): %w", i, j, err)
+				}
+				if found {
+					removals = append(removals, removal{i, j, sep})
+				}
+			}
+		}
+		for _, r := range removals {
+			sk.Adj[r.i][r.j] = false
+			sk.Adj[r.j][r.i] = false
+			sepsets[SepKey(r.i, r.j)] = r.sep
+		}
+	}
+	return OrientSkeleton(sk, sepsets)
+}
+
+// findSeparator is trySeparate returning the separating set itself.
+func findSeparator(t *CITester, i, j int, pool []int, order int, alpha float64) ([]int, bool, error) {
+	if order == 0 {
+		p, err := t.PValue(i, j, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		return []int{}, p >= alpha, nil
+	}
+	idx := make([]int, order)
+	var rec func(start, depth int) ([]int, bool, error)
+	rec = func(start, depth int) ([]int, bool, error) {
+		if depth == order {
+			cond := make([]int, order)
+			for k, pi := range idx {
+				cond[k] = pool[pi]
+			}
+			p, err := t.PValue(i, j, cond)
+			if err != nil {
+				return nil, false, err
+			}
+			if p >= alpha {
+				return cond, true, nil
+			}
+			return nil, false, nil
+		}
+		for s := start; s < len(pool); s++ {
+			idx[depth] = s
+			sep, ok, err := rec(s+1, depth+1)
+			if err != nil || ok {
+				return sep, ok, err
+			}
+		}
+		return nil, false, nil
+	}
+	return rec(0, 0)
+}

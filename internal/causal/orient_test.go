@@ -1,0 +1,115 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrientCollider(t *testing.T) {
+	// Ground truth: X0 → X2 ← X1 (collider), X0 ⟂ X1 marginally.
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		c := a + b + 0.4*rng.NormFloat64()
+		x[i] = []float64{a, b, c}
+	}
+	g, err := PCWithOrientation(x, PCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed[0][2] || !g.Directed[1][2] {
+		t.Errorf("collider not oriented: directed=%v", g.Directed)
+	}
+	if g.HasEdge(0, 1) {
+		t.Error("spurious edge between independent causes")
+	}
+	parents := g.Parents(2)
+	if len(parents) != 2 {
+		t.Errorf("Parents(2) = %v; want [0 1]", parents)
+	}
+}
+
+func TestOrientChainStaysPartiallyUndirected(t *testing.T) {
+	// X0 → X1 → X2 is Markov-equivalent to its reversals: PC cannot orient
+	// it and must return an undirected chain (no false v-structure).
+	rng := rand.New(rand.NewSource(2))
+	n := 4000
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := 1.4*a + 0.5*rng.NormFloat64()
+		c := 1.2*b + 0.5*rng.NormFloat64()
+		x[i] = []float64{a, b, c}
+	}
+	g, err := PCWithOrientation(x, PCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Undirected[0][1] || !g.Undirected[1][2] {
+		t.Errorf("chain edges should stay undirected: undirected=%v directed=%v",
+			g.Undirected, g.Directed)
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("transitive edge survived")
+	}
+}
+
+func TestMeekRule1Propagation(t *testing.T) {
+	// Collider X0 → X2 ← X1, plus X2 - X3: rule 1 orients X2 → X3
+	// (otherwise X0 → X2 - X3 would hide a new v-structure).
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	x := make([][]float64, n)
+	for i := range x {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		c := a + b + 0.4*rng.NormFloat64()
+		e := 1.3*c + 0.5*rng.NormFloat64()
+		x[i] = []float64{a, b, c, e}
+	}
+	g, err := PCWithOrientation(x, PCConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed[2][3] {
+		t.Errorf("Meek rule 1 should orient 2→3; directed=%v undirected=%v",
+			g.Directed, g.Undirected)
+	}
+}
+
+func TestOrientSkeletonEmpty(t *testing.T) {
+	if _, err := OrientSkeleton(nil, nil); err == nil {
+		t.Error("expected error for nil skeleton")
+	}
+	if _, err := OrientSkeleton(&Skeleton{}, nil); err == nil {
+		t.Error("expected error for empty skeleton")
+	}
+}
+
+func TestSepKey(t *testing.T) {
+	if SepKey(3, 1) != SepKey(1, 3) {
+		t.Error("SepKey must be order-independent")
+	}
+	if SepKey(1, 3) != [2]int{1, 3} {
+		t.Error("SepKey must normalize to ascending order")
+	}
+}
+
+func TestCPDAGAccessors(t *testing.T) {
+	g := &CPDAG{
+		Undirected: [][]bool{{false, true}, {true, false}},
+		Directed:   [][]bool{{false, false}, {false, false}},
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d; want 2", g.NumNodes())
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("HasEdge should see the undirected edge")
+	}
+	if p := g.Parents(1); len(p) != 0 {
+		t.Errorf("Parents = %v; want none for undirected", p)
+	}
+}

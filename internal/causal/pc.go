@@ -1,0 +1,141 @@
+package causal
+
+import (
+	"fmt"
+)
+
+// PCConfig tunes the order-limited PC skeleton search.
+type PCConfig struct {
+	Alpha    float64 // CI significance level (default 0.01)
+	MaxOrder int     // maximum conditioning-set size (default 2)
+}
+
+// Skeleton is an undirected adjacency structure over features.
+type Skeleton struct {
+	Adj [][]bool // Adj[i][j] == Adj[j][i]
+}
+
+// Neighbors returns the adjacent features of i.
+func (s *Skeleton) Neighbors(i int) []int {
+	var out []int
+	for j, a := range s.Adj[i] {
+		if a {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// NumEdges counts undirected edges.
+func (s *Skeleton) NumEdges() int {
+	var n int
+	for i := range s.Adj {
+		for j := i + 1; j < len(s.Adj[i]); j++ {
+			if s.Adj[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PCSkeleton runs the order-limited PC adjacency search on the rows of x:
+// start from a complete graph and delete edge (i, j) whenever some
+// conditioning set drawn from the current neighbourhoods renders i and j
+// independent. This is the general-purpose variant of the F-node search
+// used by FS; it is exposed for causal-structure exploration of telemetry
+// and used in tests to validate the CI machinery end-to-end.
+func PCSkeleton(x [][]float64, cfg PCConfig) (*Skeleton, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.01
+	}
+	if cfg.MaxOrder == 0 {
+		cfg.MaxOrder = 2
+	}
+	tester, err := NewCITester(x)
+	if err != nil {
+		return nil, err
+	}
+	d := len(x[0])
+	sk := &Skeleton{Adj: make([][]bool, d)}
+	for i := range sk.Adj {
+		sk.Adj[i] = make([]bool, d)
+		for j := range sk.Adj[i] {
+			sk.Adj[i][j] = i != j
+		}
+	}
+
+	for order := 0; order <= cfg.MaxOrder; order++ {
+		type removal struct{ i, j int }
+		var removals []removal
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if !sk.Adj[i][j] {
+					continue
+				}
+				// Conditioning sets from the neighbourhood of i excluding j.
+				pool := neighborsExcluding(sk, i, j)
+				if len(pool) < order {
+					continue
+				}
+				removed, err := trySeparate(tester, i, j, pool, order, cfg.Alpha)
+				if err != nil {
+					return nil, fmt.Errorf("causal: pc edge (%d,%d): %w", i, j, err)
+				}
+				if removed {
+					removals = append(removals, removal{i, j})
+				}
+			}
+		}
+		for _, r := range removals {
+			sk.Adj[r.i][r.j] = false
+			sk.Adj[r.j][r.i] = false
+		}
+	}
+	return sk, nil
+}
+
+func neighborsExcluding(sk *Skeleton, i, j int) []int {
+	var out []int
+	for k, a := range sk.Adj[i] {
+		if a && k != j {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// trySeparate tests all size-`order` conditioning sets from pool.
+func trySeparate(t *CITester, i, j int, pool []int, order int, alpha float64) (bool, error) {
+	if order == 0 {
+		p, err := t.PValue(i, j, nil)
+		if err != nil {
+			return false, err
+		}
+		return p >= alpha, nil
+	}
+	idx := make([]int, order)
+	var rec func(start, depth int) (bool, error)
+	rec = func(start, depth int) (bool, error) {
+		if depth == order {
+			cond := make([]int, order)
+			for k, pi := range idx {
+				cond[k] = pool[pi]
+			}
+			p, err := t.PValue(i, j, cond)
+			if err != nil {
+				return false, err
+			}
+			return p >= alpha, nil
+		}
+		for s := start; s < len(pool); s++ {
+			idx[depth] = s
+			ok, err := rec(s+1, depth+1)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"netdrift/internal/causal"
+	"netdrift/internal/dataset"
+)
+
+// Mode selects between the two variants evaluated in the paper.
+type Mode int
+
+// Adapter modes.
+const (
+	// ModeFS trains the downstream model on invariant features only
+	// ("FS (ours)" in Table I).
+	ModeFS Mode = iota + 1
+	// ModeFSRecon trains the downstream model on all features and replaces
+	// a target sample's variant features with reconstructed source-like
+	// values at inference ("FS+GAN (ours)" and the Table II ablations).
+	ModeFSRecon
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeFS:
+		return "FS"
+	case ModeFSRecon:
+		return "FS+Recon"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// AdapterConfig assembles the full pipeline.
+type AdapterConfig struct {
+	Mode  Mode               // default ModeFSRecon
+	Recon ReconKind          // default ReconGAN (ignored in ModeFS)
+	FS    causal.FNodeConfig // CI-test configuration
+	GAN   GANConfig          // GAN/NoCond settings
+	VAE   VAEConfig          // VAE/VanillaAE settings
+	Seed  int64
+}
+
+// Adapter is the paper's domain-adaptation pipeline (Fig. 1): feature
+// separation on source + few-shot target data, reconstructor training on
+// source data only, and inference-time alignment of target samples. The
+// downstream network-management model is trained exclusively on (scaled)
+// source data and never needs retraining as the domain drifts.
+type Adapter struct {
+	cfg AdapterConfig
+
+	sep    *FeatureSeparator
+	recon  Reconstructor
+	fitted bool
+}
+
+// NewAdapter builds an unfitted adapter.
+func NewAdapter(cfg AdapterConfig) *Adapter {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeFSRecon
+	}
+	if cfg.Recon == 0 {
+		cfg.Recon = ReconGAN
+	}
+	return &Adapter{cfg: cfg}
+}
+
+// ErrNoVariant is returned when feature separation finds no variant
+// features — there is no drift to mitigate and the adapter degenerates to
+// pass-through scaling.
+var ErrNoVariant = errors.New("core: no variant features identified")
+
+// Fit runs feature separation using the few-shot target support set and
+// trains the reconstructor on source data only.
+func (a *Adapter) Fit(source *dataset.Dataset, targetSupport *dataset.Dataset) error {
+	if err := source.Validate(); err != nil {
+		return fmt.Errorf("core: source: %w", err)
+	}
+	if err := targetSupport.Validate(); err != nil {
+		return fmt.Errorf("core: target support: %w", err)
+	}
+	if source.NumFeatures() != targetSupport.NumFeatures() {
+		return fmt.Errorf("core: feature width mismatch %d vs %d",
+			source.NumFeatures(), targetSupport.NumFeatures())
+	}
+	sep := NewFeatureSeparator(a.cfg.FS)
+	if err := sep.Fit(source.X, targetSupport.X); err != nil {
+		return err
+	}
+	a.sep = sep
+	a.recon = nil
+	a.fitted = true
+
+	if a.cfg.Mode != ModeFSRecon {
+		return nil
+	}
+	if len(sep.variant) == 0 {
+		// Nothing to reconstruct; TransformTarget degenerates to scaling.
+		return nil
+	}
+	scaled, err := sep.Scale(source.X)
+	if err != nil {
+		return err
+	}
+	inv, vr, err := sep.Split(scaled)
+	if err != nil {
+		return err
+	}
+	recon, err := a.newReconstructor()
+	if err != nil {
+		return err
+	}
+	if err := recon.Fit(inv, vr, source.Y, source.NumClasses()); err != nil {
+		return fmt.Errorf("core: train reconstructor: %w", err)
+	}
+	a.recon = recon
+	return nil
+}
+
+func (a *Adapter) newReconstructor() (Reconstructor, error) {
+	switch a.cfg.Recon {
+	case ReconGAN:
+		cfg := a.cfg.GAN
+		cfg.Conditional = true
+		if cfg.Seed == 0 {
+			cfg.Seed = a.cfg.Seed + 101
+		}
+		return NewCGAN(cfg), nil
+	case ReconGANNoCond:
+		cfg := a.cfg.GAN
+		cfg.Conditional = false
+		if cfg.Seed == 0 {
+			cfg.Seed = a.cfg.Seed + 101
+		}
+		return NewCGAN(cfg), nil
+	case ReconVAE:
+		cfg := a.cfg.VAE
+		if cfg.Seed == 0 {
+			cfg.Seed = a.cfg.Seed + 101
+		}
+		return NewVAE(cfg), nil
+	case ReconVanillaAE:
+		cfg := a.cfg.VAE
+		if cfg.Seed == 0 {
+			cfg.Seed = a.cfg.Seed + 101
+		}
+		return NewVanillaAE(cfg), nil
+	default:
+		return nil, fmt.Errorf("core: unknown reconstructor kind %d", int(a.cfg.Recon))
+	}
+}
+
+// TrainingData returns the dataset on which the downstream network-
+// management model should be trained: scaled source data with all features
+// (ModeFSRecon) or projected onto invariant features (ModeFS). The model is
+// trained on source data only, per the paper's no-retraining guarantee.
+func (a *Adapter) TrainingData(source *dataset.Dataset) (*dataset.Dataset, error) {
+	if !a.fitted {
+		return nil, ErrNotFitted
+	}
+	if a.cfg.Mode == ModeFS {
+		return a.sep.InvariantDataset(source)
+	}
+	scaled, err := a.sep.Scale(source.X)
+	if err != nil {
+		return nil, err
+	}
+	out := source.Clone()
+	out.X = scaled
+	return out, nil
+}
+
+// TransformTarget aligns raw target-domain rows to the source domain:
+// scale, then (in ModeFSRecon) replace the variant features with
+// reconstructions generated from the invariant features (Fig. 1(c)).
+// In ModeFS it projects onto the invariant features instead.
+func (a *Adapter) TransformTarget(x [][]float64) ([][]float64, error) {
+	if !a.fitted {
+		return nil, ErrNotFitted
+	}
+	scaled, err := a.sep.Scale(x)
+	if err != nil {
+		return nil, err
+	}
+	if a.cfg.Mode == ModeFS {
+		return selectCols(scaled, a.sep.invariant), nil
+	}
+	if a.recon == nil {
+		// No variant features were identified: pass-through.
+		return scaled, nil
+	}
+	inv, _, err := a.sep.Split(scaled)
+	if err != nil {
+		return nil, err
+	}
+	vrHat, err := a.recon.Reconstruct(inv)
+	if err != nil {
+		return nil, err
+	}
+	return a.sep.Merge(inv, vrHat)
+}
+
+// VariantFeatures returns the indices identified as domain-variant.
+func (a *Adapter) VariantFeatures() []int {
+	if !a.fitted {
+		return nil
+	}
+	return a.sep.Variant()
+}
+
+// InvariantFeatures returns the indices identified as domain-invariant.
+func (a *Adapter) InvariantFeatures() []int {
+	if !a.fitted {
+		return nil
+	}
+	return a.sep.Invariant()
+}
+
+// Reconstructor exposes the trained reconstructor (nil in ModeFS or when no
+// variant features were found).
+func (a *Adapter) Reconstructor() Reconstructor { return a.recon }
+
+// Mode reports the adapter's operating mode.
+func (a *Adapter) Mode() Mode { return a.cfg.Mode }

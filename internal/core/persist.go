@@ -1,0 +1,194 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"netdrift/internal/causal"
+	"netdrift/internal/nn"
+	"netdrift/internal/stats"
+)
+
+// The persistence format captures everything the inference path needs: the
+// fitted scaler bounds, the variant/invariant split, and the generator
+// weights (the discriminator exists only during training and is not
+// saved). Version guards future format changes.
+
+const persistVersion = 1
+
+// ErrUnsupportedPersist is returned when saving an adapter whose
+// reconstructor cannot be serialized yet (VAE/AE ablations).
+var ErrUnsupportedPersist = errors.New("core: adapter persistence supports ModeFS and GAN-based ModeFSRecon only")
+
+type adapterBlob struct {
+	Version   int          `json:"version"`
+	Mode      Mode         `json:"mode"`
+	Recon     ReconKind    `json:"recon,omitempty"`
+	Mins      []float64    `json:"mins"`
+	Maxs      []float64    `json:"maxs"`
+	Variant   []int        `json:"variant"`
+	Invariant []int        `json:"invariant"`
+	GAN       *ganBlob     `json:"gan,omitempty"`
+	FS        fsConfigBlob `json:"fs"`
+}
+
+type fsConfigBlob struct {
+	Alpha            float64 `json:"alpha"`
+	ExonerationAlpha float64 `json:"exonerationAlpha"`
+	MaxOrder         int     `json:"maxOrder"`
+	MaxNeighbors     int     `json:"maxNeighbors"`
+	MarginalOnly     bool    `json:"marginalOnly"`
+}
+
+type ganBlob struct {
+	Config   GANConfig    `json:"config"`
+	InvDim   int          `json:"invDim"`
+	VarDim   int          `json:"varDim"`
+	FixedZ   []float64    `json:"fixedZ"`
+	Snapshot *nn.Snapshot `json:"snapshot"`
+}
+
+// Save serializes a fitted adapter (FS mode, or FSRecon with a GAN/NoCond
+// reconstructor) as JSON.
+func (a *Adapter) Save(w io.Writer) error {
+	if !a.fitted {
+		return ErrNotFitted
+	}
+	mins, maxs := a.sep.scaler.Bounds()
+	blob := adapterBlob{
+		Version:   persistVersion,
+		Mode:      a.cfg.Mode,
+		Mins:      mins,
+		Maxs:      maxs,
+		Variant:   a.sep.Variant(),
+		Invariant: a.sep.Invariant(),
+		FS: fsConfigBlob{
+			Alpha:            a.cfg.FS.Alpha,
+			ExonerationAlpha: a.cfg.FS.ExonerationAlpha,
+			MaxOrder:         a.cfg.FS.MaxOrder,
+			MaxNeighbors:     a.cfg.FS.MaxNeighbors,
+			MarginalOnly:     a.cfg.FS.MarginalOnly,
+		},
+	}
+	if a.cfg.Mode == ModeFSRecon {
+		blob.Recon = a.cfg.Recon
+		if a.recon != nil {
+			gan, ok := a.recon.(*CGAN)
+			if !ok {
+				return ErrUnsupportedPersist
+			}
+			blob.GAN = &ganBlob{
+				Config:   gan.cfg,
+				InvDim:   gan.invDim,
+				VarDim:   gan.varDim,
+				FixedZ:   append([]float64(nil), gan.fixedZ...),
+				Snapshot: nn.TakeSnapshot(gan.gen),
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&blob)
+}
+
+// LoadAdapter restores an adapter saved with Save. The result supports
+// TransformTarget, TrainingData, and the feature accessors; it cannot be
+// re-Fit (construct a fresh Adapter for that).
+func LoadAdapter(r io.Reader) (*Adapter, error) {
+	var blob adapterBlob
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&blob); err != nil {
+		return nil, fmt.Errorf("core: decode adapter: %w", err)
+	}
+	if blob.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported adapter version %d", blob.Version)
+	}
+	if blob.Mode != ModeFS && blob.Mode != ModeFSRecon {
+		return nil, fmt.Errorf("core: unknown adapter mode %d", int(blob.Mode))
+	}
+
+	sep := NewFeatureSeparator(causalConfigFromBlob(blob.FS))
+	sep.scaler = newScalerFromBounds(blob.Mins, blob.Maxs)
+	if sep.scaler == nil {
+		return nil, fmt.Errorf("core: invalid scaler bounds in adapter blob")
+	}
+	sep.variant = append([]int(nil), blob.Variant...)
+	sep.invariant = append([]int(nil), blob.Invariant...)
+	sep.fitted = true
+
+	a := &Adapter{
+		cfg:    AdapterConfig{Mode: blob.Mode, Recon: blob.Recon},
+		sep:    sep,
+		fitted: true,
+	}
+	if blob.Mode == ModeFSRecon && blob.GAN != nil {
+		gan, err := rebuildGAN(blob.GAN)
+		if err != nil {
+			return nil, err
+		}
+		a.recon = gan
+	}
+	return a, nil
+}
+
+func causalConfigFromBlob(b fsConfigBlob) causal.FNodeConfig {
+	return causal.FNodeConfig{
+		Alpha:            b.Alpha,
+		ExonerationAlpha: b.ExonerationAlpha,
+		MaxOrder:         b.MaxOrder,
+		MaxNeighbors:     b.MaxNeighbors,
+		MarginalOnly:     b.MarginalOnly,
+	}
+}
+
+func newScalerFromBounds(mins, maxs []float64) *stats.MinMaxScaler {
+	s := stats.NewMinMaxScaler(-1, 1)
+	if err := s.RestoreBounds(mins, maxs); err != nil {
+		return nil
+	}
+	return s
+}
+
+// rebuildGAN reconstructs a trained generator from its blob: the network is
+// re-created with the saved architecture config, then the weight snapshot
+// is restored.
+func rebuildGAN(blob *ganBlob) (*CGAN, error) {
+	if blob.InvDim <= 0 || blob.VarDim <= 0 {
+		return nil, fmt.Errorf("core: invalid GAN dims %dx%d", blob.InvDim, blob.VarDim)
+	}
+	g := &CGAN{cfg: blob.Config}
+	g.invDim = blob.InvDim
+	g.varDim = blob.VarDim
+	// Architecture construction must match Fit exactly; the snapshot
+	// restore below overwrites the random initialization.
+	rng := rand.New(rand.NewSource(blob.Config.Seed))
+	h := g.cfg.Hidden
+	trunk := nn.NewNetwork(
+		nn.NewDense(g.invDim+g.cfg.NoiseDim, h, rng),
+		nn.NewBatchNorm(h),
+		nn.NewReLU(),
+		nn.NewDense(h, h, rng),
+		nn.NewBatchNorm(h),
+		nn.NewReLU(),
+	)
+	g.gen = nn.NewNetwork(
+		nn.NewSkipConcat(trunk),
+		nn.NewDense(h+g.invDim+g.cfg.NoiseDim, g.varDim, rng),
+		nn.NewTanh(),
+	)
+	if blob.Snapshot == nil {
+		return nil, fmt.Errorf("core: adapter blob missing generator snapshot")
+	}
+	if err := nn.RestoreSnapshot(g.gen, blob.Snapshot); err != nil {
+		return nil, fmt.Errorf("core: restore generator: %w", err)
+	}
+	if len(blob.FixedZ) != g.cfg.NoiseDim {
+		return nil, fmt.Errorf("core: fixedZ length %d, want %d", len(blob.FixedZ), g.cfg.NoiseDim)
+	}
+	g.fixedZ = append([]float64(nil), blob.FixedZ...)
+	g.rng = rand.New(rand.NewSource(blob.Config.Seed + 1))
+	g.trained = true
+	return g, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAdapterSaveLoadRoundTripFSRecon(t *testing.T) {
+	src := driftToy(600, false, 41)
+	sup := driftToy(20, true, 42)
+	ad := NewAdapter(AdapterConfig{
+		Mode:  ModeFSRecon,
+		Recon: ReconGAN,
+		GAN:   GANConfig{Epochs: 15},
+		Seed:  43,
+	})
+	if err := ad.Fit(src, sup); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAdapter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feature split preserved.
+	if got, want := loaded.VariantFeatures(), ad.VariantFeatures(); !equalInts(got, want) {
+		t.Errorf("variant = %v; want %v", got, want)
+	}
+	// Transform output must match bit-for-bit (pinned noise, restored
+	// weights, restored batch-norm statistics).
+	test := driftToy(50, true, 44)
+	a, err := ad.TransformTarget(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.TransformTarget(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("transform mismatch at [%d][%d]: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	// TrainingData also works on the loaded adapter.
+	train, err := loaded.TrainingData(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumFeatures() != src.NumFeatures() {
+		t.Errorf("training width = %d; want %d", train.NumFeatures(), src.NumFeatures())
+	}
+}
+
+func TestAdapterSaveLoadRoundTripFS(t *testing.T) {
+	src := driftToy(400, false, 45)
+	sup := driftToy(20, true, 46)
+	ad := NewAdapter(AdapterConfig{Mode: ModeFS, Seed: 47})
+	if err := ad.Fit(src, sup); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAdapter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := driftToy(30, true, 48)
+	a, _ := ad.TransformTarget(test.X)
+	b, _ := loaded.TransformTarget(test.X)
+	if len(a) != len(b) || len(a[0]) != len(b[0]) {
+		t.Fatal("FS transform shape mismatch after load")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("FS transform values changed after load")
+			}
+		}
+	}
+}
+
+func TestAdapterSaveUnfitted(t *testing.T) {
+	ad := NewAdapter(AdapterConfig{})
+	var buf bytes.Buffer
+	if err := ad.Save(&buf); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v; want ErrNotFitted", err)
+	}
+}
+
+func TestAdapterSaveUnsupportedReconstructor(t *testing.T) {
+	src := driftToy(300, false, 49)
+	sup := driftToy(20, true, 50)
+	ad := NewAdapter(AdapterConfig{
+		Mode:  ModeFSRecon,
+		Recon: ReconVAE,
+		VAE:   VAEConfig{Epochs: 2},
+		Seed:  51,
+	})
+	if err := ad.Fit(src, sup); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ad.Save(&buf); !errors.Is(err, ErrUnsupportedPersist) {
+		t.Errorf("err = %v; want ErrUnsupportedPersist", err)
+	}
+}
+
+func TestLoadAdapterErrors(t *testing.T) {
+	if _, err := LoadAdapter(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := LoadAdapter(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("expected version error")
+	}
+	if _, err := LoadAdapter(strings.NewReader(`{"version":1,"mode":77}`)); err == nil {
+		t.Error("expected mode error")
+	}
+	if _, err := LoadAdapter(strings.NewReader(`{"version":1,"mode":1,"mins":[1],"maxs":[]}`)); err == nil {
+		t.Error("expected bounds error")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package core
+
+import "math/rand"
+
+// Reconstructor learns, on source-domain data only, to reconstruct the
+// domain-variant features from the domain-invariant features. At inference
+// it maps a target sample's variant features back onto the source
+// distribution (paper §V-C).
+type Reconstructor interface {
+	// Fit trains on scaled source rows: inv/vr are the invariant/variant
+	// column groups, y the integer labels (used only by label-conditioned
+	// discriminators), numClasses the label arity.
+	Fit(inv, vr [][]float64, y []int, numClasses int) error
+	// Reconstruct produces source-like variant features for each invariant
+	// row.
+	Reconstruct(inv [][]float64) ([][]float64, error)
+	// Name identifies the reconstruction strategy for reports.
+	Name() string
+}
+
+// ReconKind selects the reconstruction strategy (Table II ablation).
+type ReconKind int
+
+// Reconstruction strategies.
+const (
+	ReconGAN       ReconKind = iota + 1 // conditional GAN (FS+GAN, the paper's method)
+	ReconGANNoCond                      // GAN without label conditioning (FS+NoCond)
+	ReconVAE                            // conditional VAE ablation (FS+VAE)
+	ReconVanillaAE                      // deterministic autoencoder ablation (FS+VanillaAE)
+)
+
+// String implements fmt.Stringer.
+func (k ReconKind) String() string {
+	switch k {
+	case ReconGAN:
+		return "GAN"
+	case ReconGANNoCond:
+		return "NoCond"
+	case ReconVAE:
+		return "VAE"
+	case ReconVanillaAE:
+		return "VanillaAE"
+	default:
+		return "ReconKind(?)"
+	}
+}
+
+// noiseDim picks the generator noise size from the data dimensionality,
+// matching the paper's choices (30 for the 442-feature 5GC dataset, 15 for
+// the 116-feature 5GIPC dataset): small relative to the data dimension so
+// that M=1 Monte-Carlo inference is stable (§V-C2).
+func noiseDim(numFeatures int) int {
+	n := numFeatures / 15
+	if n < 4 {
+		n = 4
+	}
+	if n > 48 {
+		n = 48
+	}
+	return n
+}
+
+// hiddenDim picks the generator/discriminator width from the data
+// dimensionality (256 for 5GC-scale, 128 for 5GIPC-scale in the paper).
+func hiddenDim(numFeatures int) int {
+	if numFeatures > 200 {
+		return 256
+	}
+	return 128
+}
+
+func gaussianNoise(n, dim int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netdrift/internal/nn"
+)
+
+// VAEConfig tunes the conditional VAE ablation reconstructor (Table II).
+type VAEConfig struct {
+	Epochs    int     // default 60
+	BatchSize int     // default 64
+	LR        float64 // default 1e-3
+	LatentDim int     // default from data dimension
+	Hidden    int     // default from data dimension
+	KLWeight  float64 // default 0.05
+	Seed      int64
+}
+
+func (c *VAEConfig) applyDefaults(numFeatures int) {
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.LatentDim == 0 {
+		c.LatentDim = noiseDim(numFeatures)
+	}
+	if c.Hidden == 0 {
+		c.Hidden = hiddenDim(numFeatures)
+	}
+	if c.KLWeight == 0 {
+		c.KLWeight = 0.05
+	}
+}
+
+// VAE is the conditional variational autoencoder ablation: an encoder maps
+// [X_inv, X_var] to a latent Gaussian; the decoder reconstructs X_var from
+// [X_inv, z]. At inference z is drawn from the prior, mirroring the GAN's
+// noise input. The decoder architecture matches the generator (§VI-E).
+type VAE struct {
+	cfg VAEConfig
+
+	encoder        *nn.Network // -> [mu, logvar]
+	decoder        *nn.Network
+	invDim, varDim int
+	rng            *rand.Rand
+	fixedZ         []float64 // pinned inference latent (mirrors the GAN's M=1)
+	trained        bool
+}
+
+var _ Reconstructor = (*VAE)(nil)
+
+// NewVAE creates an untrained conditional VAE reconstructor.
+func NewVAE(cfg VAEConfig) *VAE {
+	return &VAE{cfg: cfg}
+}
+
+// Name implements Reconstructor.
+func (v *VAE) Name() string { return "VAE" }
+
+// Fit trains encoder and decoder with the reparameterization trick.
+func (v *VAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
+	if len(inv) == 0 || len(inv) != len(vr) {
+		return fmt.Errorf("core: vae fit needs matching inv/var rows (%d, %d)", len(inv), len(vr))
+	}
+	v.invDim = len(inv[0])
+	v.varDim = len(vr[0])
+	v.cfg.applyDefaults(v.invDim + v.varDim)
+	v.rng = rand.New(rand.NewSource(v.cfg.Seed))
+
+	h := v.cfg.Hidden
+	ld := v.cfg.LatentDim
+	v.encoder = nn.NewNetwork(
+		nn.NewDense(v.invDim+v.varDim, h, v.rng),
+		nn.NewReLU(),
+		nn.NewDense(h, 2*ld, v.rng),
+	)
+	v.decoder = nn.NewNetwork(
+		nn.NewSkipConcat(nn.NewNetwork(
+			nn.NewDense(v.invDim+ld, h, v.rng),
+			nn.NewBatchNorm(h),
+			nn.NewReLU(),
+			nn.NewDense(h, h, v.rng),
+			nn.NewBatchNorm(h),
+			nn.NewReLU(),
+		)),
+		nn.NewDense(h+v.invDim+ld, v.varDim, v.rng),
+		nn.NewTanh(),
+	)
+	opt := nn.NewAdam(v.cfg.LR, 1e-6)
+	params := append(v.encoder.Params(), v.decoder.Params()...)
+
+	n := len(inv)
+	for epoch := 0; epoch < v.cfg.Epochs; epoch++ {
+		for _, idx := range nn.Minibatches(n, v.cfg.BatchSize, v.rng) {
+			bInv := nn.Gather(inv, idx)
+			bVar := nn.Gather(vr, idx)
+			if err := v.step(opt, params, bInv, bVar); err != nil {
+				return fmt.Errorf("core: vae epoch %d: %w", epoch, err)
+			}
+		}
+	}
+	v.fixedZ = make([]float64, v.cfg.LatentDim) // prior mean
+	v.trained = true
+	return nil
+}
+
+func (v *VAE) step(opt nn.Optimizer, params []*nn.Param, bInv, bVar [][]float64) error {
+	n := len(bInv)
+	ld := v.cfg.LatentDim
+
+	encOut := v.encoder.Forward(nn.ConcatRows(bInv, bVar), true)
+	mu := make([][]float64, n)
+	logvar := make([][]float64, n)
+	eps := gaussianNoise(n, ld, v.rng)
+	z := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		mu[i] = encOut[i][:ld]
+		logvar[i] = encOut[i][ld:]
+		zi := make([]float64, ld)
+		for k := 0; k < ld; k++ {
+			lv := clamp(logvar[i][k], -8, 8)
+			zi[k] = mu[i][k] + math.Exp(0.5*lv)*eps[i][k]
+		}
+		z[i] = zi
+	}
+
+	recon := v.decoder.Forward(nn.ConcatRows(bInv, z), true)
+	_, gradRecon, err := nn.MSE(recon, bVar)
+	if err != nil {
+		return err
+	}
+	gradDecIn := v.decoder.Backward(gradRecon)
+
+	// Assemble encoder-output gradient: reconstruction path through z plus
+	// the KL term, normalized per latent unit like the MSE.
+	klNorm := v.cfg.KLWeight / float64(n*ld)
+	gradEnc := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ge := make([]float64, 2*ld)
+		for k := 0; k < ld; k++ {
+			lv := clamp(logvar[i][k], -8, 8)
+			dz := gradDecIn[i][v.invDim+k]
+			// dz/dmu = 1; dz/dlogvar = 0.5·exp(0.5·lv)·eps.
+			ge[k] = dz + klNorm*mu[i][k]                   // dKL/dmu = mu
+			ge[ld+k] = dz*0.5*math.Exp(0.5*lv)*eps[i][k] + //
+				klNorm*0.5*(math.Exp(lv)-1) // dKL/dlogvar = (exp(lv)-1)/2
+		}
+		gradEnc[i] = ge
+	}
+	v.encoder.Backward(gradEnc)
+	opt.Step(params)
+	return nil
+}
+
+// Reconstruct decodes variant features with prior-sampled latents.
+func (v *VAE) Reconstruct(inv [][]float64) ([][]float64, error) {
+	if !v.trained {
+		return nil, ErrNotFitted
+	}
+	if len(inv) == 0 {
+		return nil, nil
+	}
+	if len(inv[0]) != v.invDim {
+		return nil, fmt.Errorf("core: reconstruct width %d, trained on %d", len(inv[0]), v.invDim)
+	}
+	z := make([][]float64, len(inv))
+	for i := range z {
+		z[i] = v.fixedZ
+	}
+	return v.decoder.Forward(nn.ConcatRows(inv, z), false), nil
+}
+
+// VanillaAE is the deterministic autoencoder ablation: a direct regression
+// from invariant to variant features with the generator's architecture but
+// no noise input and no adversary (§VI-E).
+type VanillaAE struct {
+	cfg VAEConfig
+
+	net            *nn.Network
+	invDim, varDim int
+	trained        bool
+}
+
+var _ Reconstructor = (*VanillaAE)(nil)
+
+// NewVanillaAE creates an untrained deterministic reconstructor.
+func NewVanillaAE(cfg VAEConfig) *VanillaAE {
+	return &VanillaAE{cfg: cfg}
+}
+
+// Name implements Reconstructor.
+func (a *VanillaAE) Name() string { return "VanillaAE" }
+
+// Fit trains the regression network with MSE.
+func (a *VanillaAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
+	if len(inv) == 0 || len(inv) != len(vr) {
+		return fmt.Errorf("core: ae fit needs matching inv/var rows (%d, %d)", len(inv), len(vr))
+	}
+	a.invDim = len(inv[0])
+	a.varDim = len(vr[0])
+	a.cfg.applyDefaults(a.invDim + a.varDim)
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	h := a.cfg.Hidden
+	a.net = nn.NewNetwork(
+		nn.NewSkipConcat(nn.NewNetwork(
+			nn.NewDense(a.invDim, h, rng),
+			nn.NewBatchNorm(h),
+			nn.NewReLU(),
+			nn.NewDense(h, h, rng),
+			nn.NewBatchNorm(h),
+			nn.NewReLU(),
+		)),
+		nn.NewDense(h+a.invDim, a.varDim, rng),
+		nn.NewTanh(),
+	)
+	opt := nn.NewAdam(a.cfg.LR, 1e-6)
+	params := a.net.Params()
+	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		for _, idx := range nn.Minibatches(len(inv), a.cfg.BatchSize, rng) {
+			bInv := nn.Gather(inv, idx)
+			bVar := nn.Gather(vr, idx)
+			out := a.net.Forward(bInv, true)
+			_, grad, err := nn.MSE(out, bVar)
+			if err != nil {
+				return fmt.Errorf("core: ae epoch %d: %w", epoch, err)
+			}
+			a.net.Backward(grad)
+			opt.Step(params)
+		}
+	}
+	a.trained = true
+	return nil
+}
+
+// Reconstruct regresses variant features deterministically.
+func (a *VanillaAE) Reconstruct(inv [][]float64) ([][]float64, error) {
+	if !a.trained {
+		return nil, ErrNotFitted
+	}
+	if len(inv) == 0 {
+		return nil, nil
+	}
+	if len(inv[0]) != a.invDim {
+		return nil, fmt.Errorf("core: reconstruct width %d, trained on %d", len(inv[0]), a.invDim)
+	}
+	return a.net.Forward(inv, false), nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Column names used for the label and group columns when writing CSV.
+const (
+	labelColumn = "__label__"
+	groupColumn = "__group__"
+)
+
+// WriteCSV serializes the dataset: a header row (feature names, or f0..fN
+// when unnamed, plus label and optional group columns) followed by one row
+// per sample.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	width := d.NumFeatures()
+	header := make([]string, 0, width+2)
+	if len(d.FeatureNames) == width {
+		header = append(header, d.FeatureNames...)
+	} else {
+		for j := 0; j < width; j++ {
+			header = append(header, "f"+strconv.Itoa(j))
+		}
+	}
+	header = append(header, labelColumn)
+	hasGroups := len(d.Groups) > 0
+	if hasGroups {
+		header = append(header, groupColumn)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, 0, len(header))
+	for i, row := range d.X {
+		rec = rec[:0]
+		for _, v := range row {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		rec = append(rec, strconv.Itoa(d.Y[i]))
+		if hasGroups {
+			rec = append(rec, strconv.Itoa(d.Groups[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	labelIdx := -1
+	groupIdx := -1
+	for j, name := range header {
+		switch name {
+		case labelColumn:
+			labelIdx = j
+		case groupColumn:
+			groupIdx = j
+		}
+	}
+	if labelIdx == -1 {
+		return nil, errors.New("dataset: csv missing label column")
+	}
+	var featIdx []int
+	var featNames []string
+	for j, name := range header {
+		if j == labelIdx || j == groupIdx {
+			continue
+		}
+		featIdx = append(featIdx, j)
+		featNames = append(featNames, name)
+	}
+	d := &Dataset{FeatureNames: featNames}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		row := make([]float64, len(featIdx))
+		for k, j := range featIdx {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, header[j], err)
+			}
+			row[k] = v
+		}
+		y, err := strconv.Atoi(rec[labelIdx])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d label: %w", line, err)
+		}
+		d.X = append(d.X, row)
+		d.Y = append(d.Y, y)
+		if groupIdx != -1 {
+			g, err := strconv.Atoi(rec[groupIdx])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d group: %w", line, err)
+			}
+			d.Groups = append(d.Groups, g)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

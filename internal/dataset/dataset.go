@@ -1,0 +1,304 @@
+// Package dataset defines the tabular Dataset type used across the library
+// and the synthetic generators standing in for the paper's two gated ITU 5G
+// datasets (see DESIGN.md §2 for the substitution rationale).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is a tabular classification dataset: one row of continuous
+// features per sample plus an integer class label. Groups optionally carry
+// a secondary stratification label (e.g. fault type when Y has been
+// binarized for fault detection, as in the 5GIPC protocol).
+type Dataset struct {
+	X            [][]float64
+	Y            []int
+	Groups       []int    // optional; len 0 or len(Y)
+	FeatureNames []string // optional; len 0 or len(X[0])
+	ClassNames   []string // optional
+}
+
+// ErrInvalidDataset is returned by Validate for malformed datasets.
+var ErrInvalidDataset = errors.New("dataset: invalid dataset")
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return fmt.Errorf("%w: no samples", ErrInvalidDataset)
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("%w: %d rows but %d labels", ErrInvalidDataset, len(d.X), len(d.Y))
+	}
+	width := len(d.X[0])
+	if width == 0 {
+		return fmt.Errorf("%w: zero-width rows", ErrInvalidDataset)
+	}
+	for i, row := range d.X {
+		if len(row) != width {
+			return fmt.Errorf("%w: row %d has %d features, want %d", ErrInvalidDataset, i, len(row), width)
+		}
+	}
+	if len(d.Groups) != 0 && len(d.Groups) != len(d.Y) {
+		return fmt.Errorf("%w: %d group labels for %d samples", ErrInvalidDataset, len(d.Groups), len(d.Y))
+	}
+	if len(d.FeatureNames) != 0 && len(d.FeatureNames) != width {
+		return fmt.Errorf("%w: %d feature names for %d features", ErrInvalidDataset, len(d.FeatureNames), width)
+	}
+	for i, y := range d.Y {
+		if y < 0 {
+			return fmt.Errorf("%w: negative label %d at row %d", ErrInvalidDataset, y, i)
+		}
+	}
+	return nil
+}
+
+// NumSamples returns the number of rows.
+func (d *Dataset) NumSamples() int { return len(d.X) }
+
+// NumFeatures returns the feature dimensionality (0 when empty).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// NumClasses returns 1 + the maximum label (0 when empty).
+func (d *Dataset) NumClasses() int {
+	maxY := -1
+	for _, y := range d.Y {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	return maxY + 1
+}
+
+// Clone deep-copies the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		X:            make([][]float64, len(d.X)),
+		Y:            append([]int(nil), d.Y...),
+		Groups:       append([]int(nil), d.Groups...),
+		FeatureNames: append([]string(nil), d.FeatureNames...),
+		ClassNames:   append([]string(nil), d.ClassNames...),
+	}
+	for i, row := range d.X {
+		c.X[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// Subset returns a new dataset holding the given row indices (copied).
+func (d *Dataset) Subset(idx []int) (*Dataset, error) {
+	out := &Dataset{
+		X:            make([][]float64, 0, len(idx)),
+		Y:            make([]int, 0, len(idx)),
+		FeatureNames: append([]string(nil), d.FeatureNames...),
+		ClassNames:   append([]string(nil), d.ClassNames...),
+	}
+	if len(d.Groups) > 0 {
+		out.Groups = make([]int, 0, len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= len(d.X) {
+			return nil, fmt.Errorf("dataset: subset index %d out of range [0,%d)", i, len(d.X))
+		}
+		out.X = append(out.X, append([]float64(nil), d.X[i]...))
+		out.Y = append(out.Y, d.Y[i])
+		if len(d.Groups) > 0 {
+			out.Groups = append(out.Groups, d.Groups[i])
+		}
+	}
+	return out, nil
+}
+
+// SelectFeatures returns a copy keeping only the listed feature columns, in
+// the given order.
+func (d *Dataset) SelectFeatures(cols []int) (*Dataset, error) {
+	width := d.NumFeatures()
+	for _, c := range cols {
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("dataset: column %d out of range [0,%d)", c, width)
+		}
+	}
+	out := &Dataset{
+		X:          make([][]float64, len(d.X)),
+		Y:          append([]int(nil), d.Y...),
+		Groups:     append([]int(nil), d.Groups...),
+		ClassNames: append([]string(nil), d.ClassNames...),
+	}
+	if len(d.FeatureNames) > 0 {
+		out.FeatureNames = make([]string, len(cols))
+		for j, c := range cols {
+			out.FeatureNames[j] = d.FeatureNames[c]
+		}
+	}
+	for i, row := range d.X {
+		nr := make([]float64, len(cols))
+		for j, c := range cols {
+			nr[j] = row[c]
+		}
+		out.X[i] = nr
+	}
+	return out, nil
+}
+
+// Concat appends the rows of other to a copy of d. Feature widths must
+// match; names are taken from d.
+func Concat(d, other *Dataset) (*Dataset, error) {
+	if d.NumFeatures() != other.NumFeatures() {
+		return nil, fmt.Errorf("dataset: concat width mismatch %d vs %d", d.NumFeatures(), other.NumFeatures())
+	}
+	out := d.Clone()
+	for i, row := range other.X {
+		out.X = append(out.X, append([]float64(nil), row...))
+		out.Y = append(out.Y, other.Y[i])
+	}
+	switch {
+	case len(out.Groups) > 0 && len(other.Groups) > 0:
+		out.Groups = append(out.Groups, other.Groups...)
+	case len(out.Groups) > 0 || len(other.Groups) > 0:
+		out.Groups = nil // inconsistent group metadata: drop it
+	}
+	return out, nil
+}
+
+// Shuffle returns a copy with rows permuted by the given RNG.
+func (d *Dataset) Shuffle(rng *rand.Rand) *Dataset {
+	idx := rng.Perm(len(d.X))
+	out, _ := d.Subset(idx) // indices from Perm are always in range
+	return out
+}
+
+// StratifiedSplit partitions the dataset into two parts with approximately
+// `frac` of each class in the first part. Stratification uses Y, or Groups
+// when useGroups is set.
+func (d *Dataset) StratifiedSplit(frac float64, useGroups bool, rng *rand.Rand) (*Dataset, *Dataset, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v out of (0,1)", frac)
+	}
+	strata := d.Y
+	if useGroups {
+		if len(d.Groups) == 0 {
+			return nil, nil, errors.New("dataset: no group labels for group-stratified split")
+		}
+		strata = d.Groups
+	}
+	byClass := indexByLabel(strata)
+	var firstIdx, secondIdx []int
+	for _, label := range sortedKeys(byClass) {
+		idx := byClass[label]
+		perm := rng.Perm(len(idx))
+		cut := int(float64(len(idx))*frac + 0.5)
+		if cut == 0 && len(idx) > 0 {
+			cut = 1
+		}
+		if cut == len(idx) && len(idx) > 1 {
+			cut--
+		}
+		for i, pi := range perm {
+			if i < cut {
+				firstIdx = append(firstIdx, idx[pi])
+			} else {
+				secondIdx = append(secondIdx, idx[pi])
+			}
+		}
+	}
+	first, err := d.Subset(firstIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	second, err := d.Subset(secondIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return first, second, nil
+}
+
+// FewShot draws `perClass` samples from each stratum (Y, or Groups when
+// useGroups is set), returning the support set and the remainder. Strata
+// with fewer than perClass samples contribute everything they have to the
+// support set.
+func (d *Dataset) FewShot(perClass int, useGroups bool, rng *rand.Rand) (support, rest *Dataset, err error) {
+	if perClass <= 0 {
+		return nil, nil, fmt.Errorf("dataset: perClass %d must be positive", perClass)
+	}
+	strata := d.Y
+	if useGroups {
+		if len(d.Groups) == 0 {
+			return nil, nil, errors.New("dataset: no group labels for group-stratified few-shot draw")
+		}
+		strata = d.Groups
+	}
+	byClass := indexByLabel(strata)
+	var supIdx, restIdx []int
+	for _, label := range sortedKeys(byClass) {
+		idx := byClass[label]
+		perm := rng.Perm(len(idx))
+		take := perClass
+		if take > len(idx) {
+			take = len(idx)
+		}
+		for i, pi := range perm {
+			if i < take {
+				supIdx = append(supIdx, idx[pi])
+			} else {
+				restIdx = append(restIdx, idx[pi])
+			}
+		}
+	}
+	support, err = d.Subset(supIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	rest, err = d.Subset(restIdx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return support, rest, nil
+}
+
+// ClassCounts returns the number of samples per label value.
+func (d *Dataset) ClassCounts() map[int]int {
+	out := make(map[int]int)
+	for _, y := range d.Y {
+		out[y]++
+	}
+	return out
+}
+
+// OneHot encodes the labels as one-hot vectors over numClasses columns.
+func OneHot(y []int, numClasses int) ([][]float64, error) {
+	out := make([][]float64, len(y))
+	for i, v := range y {
+		if v < 0 || v >= numClasses {
+			return nil, fmt.Errorf("dataset: label %d out of range [0,%d)", v, numClasses)
+		}
+		row := make([]float64, numClasses)
+		row[v] = 1
+		out[i] = row
+	}
+	return out, nil
+}
+
+func indexByLabel(labels []int) map[int][]int {
+	out := make(map[int][]int)
+	for i, y := range labels {
+		out[y] = append(out[y], i)
+	}
+	return out
+}
+
+func sortedKeys(m map[int][]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func toyDataset() *Dataset {
+	return &Dataset{
+		X:            [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}, {11, 12}},
+		Y:            []int{0, 0, 0, 1, 1, 1},
+		Groups:       []int{0, 1, 0, 1, 0, 1},
+		FeatureNames: []string{"a", "b"},
+		ClassNames:   []string{"neg", "pos"},
+	}
+}
+
+func TestValidateDataset(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Dataset)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(*Dataset) {}},
+		{name: "no samples", mutate: func(d *Dataset) { d.X = nil; d.Y = nil }, wantErr: true},
+		{name: "label mismatch", mutate: func(d *Dataset) { d.Y = d.Y[:2] }, wantErr: true},
+		{name: "ragged", mutate: func(d *Dataset) { d.X[1] = []float64{1} }, wantErr: true},
+		{name: "bad groups", mutate: func(d *Dataset) { d.Groups = d.Groups[:1] }, wantErr: true},
+		{name: "bad names", mutate: func(d *Dataset) { d.FeatureNames = []string{"a"} }, wantErr: true},
+		{name: "negative label", mutate: func(d *Dataset) { d.Y[0] = -1 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := toyDataset()
+			tt.mutate(d)
+			err := d.Validate()
+			if tt.wantErr && !errors.Is(err, ErrInvalidDataset) {
+				t.Errorf("Validate = %v; want ErrInvalidDataset", err)
+			}
+			if !tt.wantErr && err != nil {
+				t.Errorf("Validate = %v; want nil", err)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := toyDataset()
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[0] = 1
+	if d.X[0][0] == 99 || d.Y[0] == 1 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := toyDataset()
+	s, err := d.Subset([]int{5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSamples() != 2 || s.X[0][0] != 11 || s.X[1][0] != 1 {
+		t.Errorf("Subset rows wrong: %+v", s.X)
+	}
+	if s.Groups[0] != 1 || s.Groups[1] != 0 {
+		t.Errorf("Subset groups wrong: %v", s.Groups)
+	}
+	if _, err := d.Subset([]int{99}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	d := toyDataset()
+	s, err := d.SelectFeatures([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFeatures() != 1 || s.X[2][0] != 6 {
+		t.Errorf("SelectFeatures wrong: %+v", s.X)
+	}
+	if len(s.FeatureNames) != 1 || s.FeatureNames[0] != "b" {
+		t.Errorf("names = %v; want [b]", s.FeatureNames)
+	}
+	if _, err := d.SelectFeatures([]int{5}); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := toyDataset()
+	b := toyDataset()
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSamples() != 12 {
+		t.Errorf("NumSamples = %d; want 12", c.NumSamples())
+	}
+	if len(c.Groups) != 12 {
+		t.Errorf("Groups len = %d; want 12", len(c.Groups))
+	}
+	narrow, _ := a.SelectFeatures([]int{0})
+	if _, err := Concat(a, narrow); err == nil {
+		t.Error("expected width mismatch error")
+	}
+	// Inconsistent group metadata is dropped, not fabricated.
+	noGroups := toyDataset()
+	noGroups.Groups = nil
+	mixed, err := Concat(a, noGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed.Groups) != 0 {
+		t.Error("Concat should drop inconsistent groups")
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	d := toyDataset()
+	rng := rand.New(rand.NewSource(1))
+	a, b, err := d.StratifiedSplit(0.5, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSamples()+b.NumSamples() != 6 {
+		t.Fatal("split lost samples")
+	}
+	// Each half should have samples of both classes (3 per class, split ~50%).
+	for _, part := range []*Dataset{a, b} {
+		counts := part.ClassCounts()
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Errorf("split part missing a class: %v", counts)
+		}
+	}
+	if _, _, err := d.StratifiedSplit(0, false, rng); err == nil {
+		t.Error("expected error for frac=0")
+	}
+}
+
+func TestFewShot(t *testing.T) {
+	d := toyDataset()
+	rng := rand.New(rand.NewSource(2))
+	sup, rest, err := d.FewShot(1, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.NumSamples() != 2 {
+		t.Fatalf("support size = %d; want 2 (1 per class)", sup.NumSamples())
+	}
+	counts := sup.ClassCounts()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("support counts = %v; want 1 per class", counts)
+	}
+	if rest.NumSamples() != 4 {
+		t.Errorf("rest size = %d; want 4", rest.NumSamples())
+	}
+	// Group-stratified draw.
+	supG, _, err := d.FewShot(1, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := map[int]int{}
+	for _, g := range supG.Groups {
+		gc[g]++
+	}
+	if gc[0] != 1 || gc[1] != 1 {
+		t.Errorf("group support counts = %v; want 1 per group", gc)
+	}
+	// Oversized request takes everything available.
+	supAll, restNone, err := d.FewShot(100, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supAll.NumSamples() != 6 || restNone.NumSamples() != 0 {
+		t.Errorf("oversized few-shot: %d/%d; want 6/0", supAll.NumSamples(), restNone.NumSamples())
+	}
+	if _, _, err := d.FewShot(0, false, rng); err == nil {
+		t.Error("expected error for perClass=0")
+	}
+}
+
+func TestFewShotNoGroups(t *testing.T) {
+	d := toyDataset()
+	d.Groups = nil
+	if _, _, err := d.FewShot(1, true, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("expected error when groups requested but absent")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	oh, err := OneHot([]int{0, 2, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if oh[i][j] != want[i][j] {
+				t.Errorf("OneHot[%d][%d] = %v; want %v", i, j, oh[i][j], want[i][j])
+			}
+		}
+	}
+	if _, err := OneHot([]int{3}, 3); err == nil {
+		t.Error("expected error for out-of-range label")
+	}
+}
+
+func TestNumClassesAndCounts(t *testing.T) {
+	d := toyDataset()
+	if d.NumClasses() != 2 {
+		t.Errorf("NumClasses = %d; want 2", d.NumClasses())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("ClassCounts = %v; want 3/3", counts)
+	}
+	var empty Dataset
+	if empty.NumClasses() != 0 {
+		t.Errorf("empty NumClasses = %d; want 0", empty.NumClasses())
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	d := toyDataset()
+	s := d.Shuffle(rand.New(rand.NewSource(3)))
+	if s.NumSamples() != d.NumSamples() {
+		t.Fatal("shuffle changed size")
+	}
+	// Sum of first feature must be preserved.
+	var want, got float64
+	for i := range d.X {
+		want += d.X[i][0]
+		got += s.X[i][0]
+	}
+	if want != got {
+		t.Error("shuffle is not a permutation")
+	}
+}

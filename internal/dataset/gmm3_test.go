@@ -1,0 +1,53 @@
+package dataset
+
+import "testing"
+
+// TestSplitByGMMThreeWay exercises the Table III protocol: the pooled data
+// of a source and two distinct target regimes is split into three clusters,
+// largest first.
+func TestSplitByGMMThreeWay(t *testing.T) {
+	d, err := Synthetic5GIPC(FiveGIPCConfig{
+		Seed:         23,
+		SourceNormal: 700, SourceFaults: [4]int{20, 30, 60, 50},
+		TargetNormal: 250, TargetFaults: [4]int{10, 15, 30, 25},
+		TargetTrainPerGroup: 2,
+		NumTargets:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Concat(d.Source, d.Targets[0].Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err = Concat(pooled, d.Targets[1].Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, assign, err := SplitByGMM(pooled, 3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %d; want 3", len(clusters))
+	}
+	if clusters[0].NumSamples() < clusters[1].NumSamples() ||
+		clusters[1].NumSamples() < clusters[2].NumSamples() {
+		t.Error("clusters must be ordered by decreasing size")
+	}
+	// The biggest cluster should align with the true source block.
+	nSrc := d.Source.NumSamples()
+	var agree int
+	for i := 0; i < nSrc; i++ {
+		if assign[i] == 0 {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(nSrc); frac < 0.85 {
+		t.Errorf("source recovery fraction = %.2f; want >= 0.85", frac)
+	}
+	// Assignments must cover every pooled row.
+	if len(assign) != pooled.NumSamples() {
+		t.Fatalf("assignment length %d; want %d", len(assign), pooled.NumSamples())
+	}
+}

@@ -1,0 +1,288 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"netdrift/internal/stats"
+)
+
+func TestSynthetic5GCShape(t *testing.T) {
+	d, err := Synthetic5GC(FiveGCConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Source.NumFeatures(); got != 442 {
+		t.Errorf("source features = %d; want 442", got)
+	}
+	if got := d.Source.NumSamples(); got != 3645 {
+		t.Errorf("source samples = %d; want 3645", got)
+	}
+	if got := d.TargetTest.NumSamples(); got != 873 {
+		t.Errorf("target test samples = %d; want 873", got)
+	}
+	if got := d.Source.NumClasses(); got != 16 {
+		t.Errorf("classes = %d; want 16", got)
+	}
+	if len(d.TrueVariant) != 78 {
+		t.Errorf("true variant count = %d; want 78", len(d.TrueVariant))
+	}
+	if len(d.Source.ClassNames) != 16 {
+		t.Errorf("class names = %d; want 16", len(d.Source.ClassNames))
+	}
+	// Roughly balanced classes.
+	counts := d.Source.ClassCounts()
+	for c := 0; c < 16; c++ {
+		if counts[c] < 200 || counts[c] > 260 {
+			t.Errorf("class %d count = %d; want ~228", c, counts[c])
+		}
+	}
+}
+
+func TestSynthetic5GCDeterminism(t *testing.T) {
+	a, err := Synthetic5GC(FiveGCConfig{Seed: 9, SourceSamples: 64, TargetTrainPool: 32, TargetTestSamples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic5GC(FiveGCConfig{Seed: 9, SourceSamples: 64, TargetTrainPool: 32, TargetTestSamples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Source.X {
+		for j := range a.Source.X[i] {
+			if a.Source.X[i][j] != b.Source.X[i][j] {
+				t.Fatal("same seed must reproduce identical data")
+			}
+		}
+	}
+}
+
+func TestSynthetic5GCVariantFeaturesActuallyShift(t *testing.T) {
+	d, err := Synthetic5GC(FiveGCConfig{Seed: 3, SourceSamples: 1600, TargetTrainPool: 32, TargetTestSamples: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isVariant := make(map[int]bool, len(d.TrueVariant))
+	for _, v := range d.TrueVariant {
+		isVariant[v] = true
+	}
+	// Compare per-class means so class priors cannot mask shifts. Use the
+	// normal class (label 0).
+	srcNormal := rowsOfClass(d.Source, 0)
+	tgtNormal := rowsOfClass(d.TargetTest, 0)
+
+	var variantShifted, invariantStable int
+	var variantTotal, invariantTotal int
+	for j := 0; j < d.Source.NumFeatures(); j++ {
+		sc := columnOf(srcNormal, j)
+		tc := columnOf(tgtNormal, j)
+		diff := math.Abs(stats.Mean(sc) - stats.Mean(tc))
+		pooled := math.Sqrt(stats.Variance(sc)/float64(len(sc)) + stats.Variance(tc)/float64(len(tc)))
+		// The drift is heterogeneous by design: some interventions shift
+		// strongly (traffic aggregates), others subtly (resource
+		// baselines), so the detection bar here is deliberately low.
+		shifted := diff > 5*pooled && diff > 0.25
+		if isVariant[j] {
+			variantTotal++
+			// NoiseScale/MechanismScale interventions change variance or
+			// coupling, not necessarily the mean, so only count mean
+			// movers.
+			if shifted {
+				variantShifted++
+			}
+		} else {
+			invariantTotal++
+			if !shifted {
+				invariantStable++
+			}
+		}
+	}
+	if frac := float64(variantShifted) / float64(variantTotal); frac < 0.6 {
+		t.Errorf("only %.0f%% of variant features show mean shifts; want >= 60%%", frac*100)
+	}
+	if frac := float64(invariantStable) / float64(invariantTotal); frac < 0.97 {
+		t.Errorf("only %.0f%% of invariant features are stable; want >= 97%%", frac*100)
+	}
+}
+
+func TestSynthetic5GIPCShape(t *testing.T) {
+	d, err := Synthetic5GIPC(FiveGIPCConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Source.NumFeatures(); got != 116 {
+		t.Errorf("features = %d; want 116", got)
+	}
+	if got := d.Source.NumSamples(); got != 5315+100+226+874+619 {
+		t.Errorf("source samples = %d; want 7134", got)
+	}
+	if len(d.Targets) != 1 {
+		t.Fatalf("targets = %d; want 1", len(d.Targets))
+	}
+	tt0 := d.Targets[0]
+	if got := tt0.Test.NumSamples(); got != 2060+95+124+311+546 {
+		t.Errorf("target test samples = %d; want 3136", got)
+	}
+	if d.Source.NumClasses() != 2 {
+		t.Errorf("classes = %d; want 2 (binary)", d.Source.NumClasses())
+	}
+	// Groups must track fault types 0..4.
+	gc := map[int]int{}
+	for _, g := range d.Source.Groups {
+		gc[g]++
+	}
+	if gc[0] != 5315 || gc[1] != 100 || gc[2] != 226 || gc[3] != 874 || gc[4] != 619 {
+		t.Errorf("group counts = %v", gc)
+	}
+	// Binary labels consistent with groups.
+	for i, g := range d.Source.Groups {
+		want := 0
+		if g != 0 {
+			want = 1
+		}
+		if d.Source.Y[i] != want {
+			t.Fatalf("row %d: label %d inconsistent with group %d", i, d.Source.Y[i], g)
+		}
+	}
+	if len(tt0.TrueVariant) == 0 {
+		t.Error("no true variant features recorded")
+	}
+}
+
+func TestSynthetic5GIPCTwoTargets(t *testing.T) {
+	d, err := Synthetic5GIPC(FiveGIPCConfig{
+		Seed:         7,
+		SourceNormal: 400, SourceFaults: [4]int{30, 30, 30, 30},
+		TargetNormal: 200, TargetFaults: [4]int{20, 20, 20, 20},
+		NumTargets: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Targets) != 2 {
+		t.Fatalf("targets = %d; want 2", len(d.Targets))
+	}
+	// The two targets must share a majority of variant features (paper
+	// §VI-F) but not be identical.
+	v0 := map[int]bool{}
+	for _, f := range d.Targets[0].TrueVariant {
+		v0[f] = true
+	}
+	var common int
+	for _, f := range d.Targets[1].TrueVariant {
+		if v0[f] {
+			common++
+		}
+	}
+	n1 := len(d.Targets[1].TrueVariant)
+	if common*2 <= n1 {
+		t.Errorf("common variant features %d of %d; want majority", common, n1)
+	}
+	if common == n1 && n1 == len(d.Targets[0].TrueVariant) {
+		t.Error("targets should not have identical variant sets")
+	}
+}
+
+func TestSynthetic5GIPCBadNumTargets(t *testing.T) {
+	if _, err := Synthetic5GIPC(FiveGIPCConfig{Seed: 1, NumTargets: 3}); err == nil {
+		t.Error("expected error for NumTargets=3")
+	}
+}
+
+func TestSplitByGMMRecoversRegimes(t *testing.T) {
+	d, err := Synthetic5GIPC(FiveGIPCConfig{
+		Seed:         5,
+		SourceNormal: 700, SourceFaults: [4]int{20, 30, 60, 50},
+		TargetNormal: 300, TargetFaults: [4]int{10, 15, 30, 25},
+		TargetTrainPerGroup: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Concat(d.Source, d.Targets[0].Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSrc := d.Source.NumSamples()
+	clusters, assign, err := SplitByGMM(pooled, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d; want 2", len(clusters))
+	}
+	if clusters[0].NumSamples() < clusters[1].NumSamples() {
+		t.Error("clusters must be ordered largest first")
+	}
+	// Cluster 0 (largest) should align with the true source rows.
+	var agree int
+	for i, a := range assign {
+		isSrc := i < nSrc
+		if (a == 0) == isSrc {
+			agree++
+		}
+	}
+	acc := float64(agree) / float64(len(assign))
+	if acc < 0.9 {
+		t.Errorf("GMM domain recovery accuracy = %.2f; want >= 0.9", acc)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := toyDataset()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSamples() != d.NumSamples() || got.NumFeatures() != d.NumFeatures() {
+		t.Fatalf("round-trip shape mismatch")
+	}
+	for i := range d.X {
+		for j := range d.X[i] {
+			if got.X[i][j] != d.X[i][j] {
+				t.Errorf("X[%d][%d] = %v; want %v", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+		if got.Y[i] != d.Y[i] || got.Groups[i] != d.Groups[i] {
+			t.Errorf("labels/groups mismatch at %d", i)
+		}
+	}
+	if got.FeatureNames[0] != "a" || got.FeatureNames[1] != "b" {
+		t.Errorf("feature names = %v", got.FeatureNames)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2\n")); err == nil {
+		t.Error("expected error for missing label column")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,__label__\nx,0\n")); err == nil {
+		t.Error("expected error for non-numeric feature")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,__label__\n1,x\n")); err == nil {
+		t.Error("expected error for non-numeric label")
+	}
+}
+
+func rowsOfClass(d *Dataset, class int) [][]float64 {
+	var out [][]float64
+	for i, y := range d.Y {
+		if y == class {
+			out = append(out, d.X[i])
+		}
+	}
+	return out
+}
+
+func columnOf(rows [][]float64, j int) []float64 {
+	out := make([]float64, len(rows))
+	for i := range rows {
+		out[i] = rows[i][j]
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netdrift/internal/scm"
+)
+
+// telemetryBuilder incrementally constructs an explicit telemetry SCM with
+// named features. It tracks which features are "leaves" (never used as a
+// parent), because the synthetic domain shift intervenes on leaves only:
+// that keeps the ground-truth variant set exactly equal to the intervention
+// targets, with no marginal drift leaking into descendants (DESIGN.md §5).
+type telemetryBuilder struct {
+	nodes  []scm.Node
+	names  []string
+	isLeaf []bool
+	rng    *rand.Rand
+}
+
+func newTelemetryBuilder(seed int64) *telemetryBuilder {
+	return &telemetryBuilder{rng: rand.New(rand.NewSource(seed))}
+}
+
+// fork returns a copy of the builder whose RNG is independent of the
+// original's stream, so that signature and shift construction cannot
+// perturb each other's draws across configuration changes.
+func (b *telemetryBuilder) fork(salt int64) *telemetryBuilder {
+	nb := *b
+	nb.rng = rand.New(rand.NewSource(salt))
+	return &nb
+}
+
+// addRoot appends a parent-less feature and returns its index.
+func (b *telemetryBuilder) addRoot(name string, noiseStd float64) int {
+	return b.addNode(name, scm.Node{
+		Bias:     b.rng.NormFloat64() * 0.5,
+		NoiseStd: noiseStd,
+		NL:       scm.Linear,
+	}, false)
+}
+
+// addDerived appends a feature whose parents are drawn from the candidate
+// pool (non-leaf features only), and returns its index.
+func (b *telemetryBuilder) addDerived(name string, pool []int, numParents int, weightScale, noiseStd float64, leaf bool) int {
+	nd := scm.Node{
+		Bias:     b.rng.NormFloat64() * 0.3,
+		NoiseStd: noiseStd,
+		NL:       scm.Linear,
+	}
+	if b.rng.Float64() < 0.25 {
+		nd.NL = scm.Tanh
+	}
+	perm := b.rng.Perm(len(pool))
+	for _, pi := range perm {
+		if len(nd.Parents) >= numParents {
+			break
+		}
+		p := pool[pi]
+		if b.isLeaf[p] {
+			continue
+		}
+		w := (0.4 + 0.6*b.rng.Float64()) * weightScale
+		if b.rng.Float64() < 0.4 {
+			w = -w
+		}
+		nd.Parents = append(nd.Parents, p)
+		nd.Weights = append(nd.Weights, w)
+	}
+	return b.addNode(name, nd, leaf)
+}
+
+// addAggregate appends a near-deterministic positive-weighted sum of the
+// given parents (e.g. a traffic-volume total), marked as a leaf. These are
+// the features the conditional GAN can reconstruct accurately.
+func (b *telemetryBuilder) addAggregate(name string, parents []int, noiseStd float64) int {
+	nd := scm.Node{
+		NoiseStd: noiseStd,
+		NL:       scm.Linear,
+	}
+	for _, p := range parents {
+		nd.Parents = append(nd.Parents, p)
+		nd.Weights = append(nd.Weights, 0.7+0.5*b.rng.Float64())
+	}
+	return b.addNode(name, nd, true)
+}
+
+func (b *telemetryBuilder) addNode(name string, nd scm.Node, leaf bool) int {
+	idx := len(b.nodes)
+	b.nodes = append(b.nodes, nd)
+	b.names = append(b.names, name)
+	b.isLeaf = append(b.isLeaf, leaf)
+	return idx
+}
+
+func (b *telemetryBuilder) model() (*scm.Model, error) {
+	m := &scm.Model{Nodes: b.nodes}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("telemetry model: %w", err)
+	}
+	return m, nil
+}
+
+// pickN selects n distinct elements of pool (or all of pool when n exceeds
+// its length) using the builder's RNG.
+func (b *telemetryBuilder) pickN(pool []int, n int) []int {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := b.rng.Perm(len(pool))
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+// Drifted bundles a source/target domain pair generated from one SCM, with
+// ground truth about the domain shift.
+type Drifted struct {
+	Source      *Dataset           // observational domain D_A
+	TargetTrain *Dataset           // interventional domain D_C: few-shot pool
+	TargetTest  *Dataset           // interventional domain D_C: evaluation set
+	Model       *scm.Model         // the generating SCM
+	Shift       []scm.Intervention // the soft interventions realizing the drift
+	TrueVariant []int              // ground-truth variant feature indices (sorted)
+}
+
+// classBalancedLabels produces n labels spread as evenly as possible over
+// numClasses, shuffled.
+func classBalancedLabels(n, numClasses int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i % numClasses
+	}
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// labelsFromCounts produces labels with exact per-class counts, shuffled.
+func labelsFromCounts(counts []int, rng *rand.Rand) []int {
+	var out []int
+	for c, n := range counts {
+		for i := 0; i < n; i++ {
+			out = append(out, c)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// exogenousFromSignatures expands per-class signature vectors into a
+// per-sample exogenous matrix, with per-sample jitter so that repeated
+// samples of a class are not identical beyond mechanism noise.
+func exogenousFromSignatures(labels []int, sig [][]float64, jitter float64, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, len(labels))
+	for i, y := range labels {
+		row := make([]float64, len(sig[y]))
+		for j, v := range sig[y] {
+			if v == 0 {
+				continue
+			}
+			row[j] = v * (1 + jitter*(rng.Float64()*2-1))
+		}
+		out[i] = row
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"netdrift/internal/core"
+	"netdrift/internal/models"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "bench", "full", ""} {
+		if _, ok := ScaleByName(name); !ok {
+			t.Errorf("ScaleByName(%q) not found", name)
+		}
+	}
+	if _, ok := ScaleByName("nope"); ok {
+		t.Error("unknown scale should not resolve")
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	for _, name := range []string{"5gc", "5gipc"} {
+		pair, err := MakePair(name, QuickScale, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pair.Source.NumSamples() == 0 || pair.TargetTest.NumSamples() == 0 {
+			t.Errorf("%s: empty pair", name)
+		}
+	}
+	if _, err := MakePair("bogus", QuickScale, 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestTable1QuickShapeAndOrdering(t *testing.T) {
+	res, err := RunTable1(Table1Config{
+		Dataset: "5gc",
+		Shots:   []int{5},
+		Repeats: 1,
+		Seed:    3,
+		Scale:   QuickScale,
+		Methods: []string{"FS+GAN (ours)", "FS (ours)", "SrcOnly", "CMT"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d; want 4", len(res.Rows))
+	}
+	fsgan, ok := res.Score("FS+GAN (ours)", 5, "TNet")
+	if !ok {
+		t.Fatal("missing FS+GAN cell")
+	}
+	srconly, ok := res.Score("SrcOnly", 5, "TNet")
+	if !ok {
+		t.Fatal("missing SrcOnly cell")
+	}
+	if fsgan <= srconly {
+		t.Errorf("FS+GAN (%.1f) must beat SrcOnly (%.1f) under drift", fsgan, srconly)
+	}
+	// Formatting renders every method.
+	text := FormatTable1(res)
+	for _, m := range []string{"FS+GAN (ours)", "FS (ours)", "SrcOnly", "CMT"} {
+		if !strings.Contains(text, m) {
+			t.Errorf("formatted table missing %q:\n%s", m, text)
+		}
+	}
+}
+
+func TestTable1ModelSpecificColumns(t *testing.T) {
+	res, err := RunTable1(Table1Config{
+		Dataset: "5gipc",
+		Shots:   []int{5},
+		Repeats: 1,
+		Seed:    4,
+		Scale:   QuickScale,
+		Methods: []string{"ProtoNet"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Score("ProtoNet", 5, "TNet")
+	if !ok {
+		t.Fatal("model-specific score should resolve through the * column")
+	}
+	v2, _ := res.Score("ProtoNet", 5, "XGB")
+	if v != v2 {
+		t.Error("model-specific methods must report one value across classifier columns")
+	}
+}
+
+func TestTable1UnknownInputs(t *testing.T) {
+	if _, err := RunTable1(Table1Config{Dataset: "bogus", Scale: QuickScale}); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+	if _, err := RunTable1(Table1Config{Dataset: "5gc", Scale: QuickScale,
+		Methods: []string{"not-a-method"}}); err == nil {
+		t.Error("expected error for empty roster")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	res, err := RunTable2(Table2Config{
+		Dataset: "5gipc",
+		Shots:   []int{5},
+		Repeats: 1,
+		Seed:    5,
+		Scale:   QuickScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kinds) != 4 {
+		t.Fatalf("kinds = %d; want 4", len(res.Kinds))
+	}
+	for _, k := range res.Kinds {
+		if res.Scores[k][5] <= 0 {
+			t.Errorf("FS+%s score missing", k)
+		}
+	}
+	if !strings.Contains(FormatTable2(res), "FS+GAN") {
+		t.Error("formatted table2 missing FS+GAN")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	res, err := RunTable3(Table3Config{
+		Shots:   []int{5},
+		Repeats: 1,
+		Seed:    6,
+		Scale:   QuickScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		for tgt := 0; tgt < 2; tgt++ {
+			if res.Scores[a][tgt][5] <= 0 {
+				t.Errorf("missing score FS+GAN_%d on Target_%d", a+1, tgt+1)
+			}
+		}
+	}
+	if res.CommonVariantFraction <= 0 {
+		t.Error("common variant fraction should be positive (targets share the traffic shift)")
+	}
+	if !strings.Contains(FormatTable3(res), "FS+GAN_2") {
+		t.Error("formatted table3 missing FS+GAN_2")
+	}
+}
+
+func TestVariantCountsQuick(t *testing.T) {
+	res, err := RunVariantCounts(SensitivityConfig{
+		Dataset: "5gc",
+		Shots:   []int{1, 10},
+		Repeats: 1,
+		Seed:    7,
+		Scale:   QuickScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueVariant != 78 {
+		t.Errorf("true variant = %d; want 78", res.TrueVariant)
+	}
+	if res.FSCounts[10] < res.FSCounts[1] {
+		t.Errorf("FS counts should grow with shots: %v", res.FSCounts)
+	}
+	// ICD is conservative: fewer variant features than FS (paper §VI-B(d)).
+	if res.ICDCounts[10] > res.FSCounts[10] {
+		t.Errorf("ICD (%v) should find fewer than FS (%v)", res.ICDCounts[10], res.FSCounts[10])
+	}
+	if !strings.Contains(FormatVariantCounts(res), "FS") {
+		t.Error("formatted counts missing FS column")
+	}
+}
+
+func TestVarianceQuick(t *testing.T) {
+	res, err := RunVariance(SensitivityConfig{
+		Dataset: "5gipc",
+		Repeats: 2,
+		Seed:    8,
+		Scale:   QuickScale,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != 2 {
+		t.Fatalf("values = %d; want 2", len(res.Values))
+	}
+	if res.Mean <= 0 {
+		t.Error("mean F1 should be positive")
+	}
+	if !strings.Contains(FormatVariance(res), "FS+GAN") {
+		t.Error("formatted variance missing method name")
+	}
+}
+
+func TestInDomainQuick(t *testing.T) {
+	res, err := RunInDomain(SensitivityConfig{
+		Dataset: "5gipc",
+		Seed:    9,
+		Scale:   QuickScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QuickScale trains tiny models on tiny data; this is a smoke check
+	// that in-domain performance is well above the 2-class chance level.
+	// The bench harness validates the full-scale levels.
+	for _, clf := range []string{"TNet", "MLP", "RF", "XGB"} {
+		if res.F1[clf] < 45 {
+			t.Errorf("in-domain %s F1 = %.1f; should beat chance comfortably", clf, res.F1[clf])
+		}
+	}
+	if !strings.Contains(FormatInDomain(res), "source domain") {
+		t.Error("formatted in-domain output malformed")
+	}
+}
+
+// TestM1PredictionStability asserts the §V-C2 premise at the prediction
+// level: two independent TransformTarget calls (different noise draws) give
+// the downstream classifier effectively identical predictions.
+func TestM1PredictionStability(t *testing.T) {
+	pair, err := MakePair("5gipc", QuickScale, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	support, _, err := pair.TargetTrain.FewShot(5, true, randFor(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := core.NewAdapter(core.AdapterConfig{
+		Mode:  core.ModeFSRecon,
+		Recon: core.ReconGAN,
+		GAN:   core.GANConfig{Epochs: QuickScale.GANEpochs},
+		Seed:  13,
+	})
+	if err := ad.Fit(pair.Source, support); err != nil {
+		t.Fatal(err)
+	}
+	train, err := ad.TrainingData(pair.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := models.NewMLPClassifier(models.Options{Seed: 13, Epochs: QuickScale.ClassifierEpochs})
+	if err := clf.Fit(train.X, train.Y, 2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ad.TransformTarget(pair.TargetTest.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ad.TransformTarget(pair.TargetTest.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predA, err := models.PredictClasses(clf, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predB, err := models.PredictClasses(clf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agree int
+	for i := range predA {
+		if predA[i] == predB[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(predA)); frac < 0.97 {
+		t.Errorf("prediction agreement across noise draws = %.3f; want >= 0.97 (M=1 premise)", frac)
+	}
+}
+
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

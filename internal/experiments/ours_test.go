@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdrift/internal/core"
+	"netdrift/internal/models"
+)
+
+// TestOursMethodAdapterCache verifies the Table I optimization: the four
+// classifier columns share one fitted adapter (one GAN training) per
+// (source, support) pair.
+func TestOursMethodAdapterCache(t *testing.T) {
+	pair, err := MakePair("5gipc", QuickScale, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	support, _, err := pair.TargetTrain.FewShot(3, true, rand.New(rand.NewSource(62)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewFSGAN(QuickScale.GANEpochs, 63)
+	ad1, train1, err := m.adapterFor(pair.Source, support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad2, train2, err := m.adapterFor(pair.Source, support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad1 != ad2 || train1 != train2 {
+		t.Error("same (source, support) pair must reuse the cached adapter")
+	}
+	// A different support invalidates the cache.
+	support2, _, err := pair.TargetTrain.FewShot(3, true, rand.New(rand.NewSource(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad3, _, err := m.adapterFor(pair.Source, support2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad3 == ad1 {
+		t.Error("different support must refit the adapter")
+	}
+}
+
+func TestOursMethodLabels(t *testing.T) {
+	if got := NewFS(1).Name(); got != "FS (ours)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewFSGAN(5, 1).Name(); got != "FS+GAN (ours)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewFSRecon(core.ReconVAE, 5, 1).Name(); got != "FS+VAE" {
+		t.Errorf("Name = %q", got)
+	}
+	if !NewFS(1).ModelAgnostic() {
+		t.Error("FS must be model-agnostic")
+	}
+}
+
+func TestTable1ResultAccessors(t *testing.T) {
+	res := &Table1Result{
+		Shots:       []int{5},
+		Classifiers: []string{"TNet"},
+		Rows: []MethodRow{
+			{
+				Method: "FS (ours)",
+				Scores: map[int]map[string]float64{5: {"TNet": 80, "MLP": 70}},
+			},
+			{
+				Method: "DANN",
+				Scores: map[int]map[string]float64{5: {"*": 60}},
+			},
+		},
+	}
+	if v, ok := res.Score("FS (ours)", 5, "TNet"); !ok || v != 80 {
+		t.Errorf("Score = %v,%v; want 80,true", v, ok)
+	}
+	if v, ok := res.Score("DANN", 5, "TNet"); !ok || v != 60 {
+		t.Errorf("model-specific Score = %v,%v; want 60,true", v, ok)
+	}
+	if _, ok := res.Score("nope", 5, "TNet"); ok {
+		t.Error("unknown method should not resolve")
+	}
+	if v, ok := res.BestScore("FS (ours)"); !ok || v != 80 {
+		t.Errorf("BestScore = %v,%v; want 80,true", v, ok)
+	}
+	if v, ok := res.MeanScore("FS (ours)"); !ok || v != 75 {
+		t.Errorf("MeanScore = %v,%v; want 75,true", v, ok)
+	}
+	if _, ok := res.MeanScore("nope"); ok {
+		t.Error("unknown method should not have a mean")
+	}
+}
+
+// TestFSGANModelAgnosticAcrossClassifiers spot-checks the shared-adapter
+// path end to end with two different classifier families.
+func TestFSGANModelAgnosticAcrossClassifiers(t *testing.T) {
+	pair, err := MakePair("5gipc", QuickScale, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	support, _, err := pair.TargetTrain.FewShot(5, true, rand.New(rand.NewSource(72)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewFSGAN(QuickScale.GANEpochs, 73)
+	for _, kind := range []models.Kind{models.KindMLP, models.KindRF} {
+		clf, err := models.New(kind, models.Options{Seed: 73, Epochs: 6, Trees: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pred) != pair.TargetTest.NumSamples() {
+			t.Fatalf("%s: wrong prediction count", kind)
+		}
+	}
+}

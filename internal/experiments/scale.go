@@ -1,0 +1,71 @@
+package experiments
+
+// Scale bundles the compute knobs of an experiment run. Paper-scale data
+// with GPU-scale epoch counts is not feasible on a single CPU core, so the
+// default BenchScale shrinks sample counts and epochs while preserving the
+// methods' relative behaviour; FullScale matches the paper's sample counts.
+type Scale struct {
+	// 5GC sizes.
+	GCSource     int
+	GCTargetPool int
+	GCTargetTest int
+	// 5GIPC sizes (normals; faults scale proportionally).
+	IPCSourceNormal int
+	IPCSourceFaults [4]int
+	IPCTargetNormal int
+	IPCTargetFaults [4]int
+	IPCTrainPool    int
+	// Model budgets.
+	ClassifierEpochs int // neural classifiers
+	Trees            int // RF trees / XGB rounds
+	GANEpochs        int
+	AdvEpochs        int // DANN / SCL
+	Episodes         int // MatchNet / ProtoNet
+	FineTuneEpochs   int
+}
+
+// QuickScale is for unit tests: tiny but still end-to-end.
+var QuickScale = Scale{
+	GCSource: 320, GCTargetPool: 96, GCTargetTest: 160,
+	IPCSourceNormal: 300, IPCSourceFaults: [4]int{20, 30, 60, 50},
+	IPCTargetNormal: 150, IPCTargetFaults: [4]int{10, 15, 25, 25},
+	IPCTrainPool:     12,
+	ClassifierEpochs: 6, Trees: 10, GANEpochs: 10, AdvEpochs: 5,
+	Episodes: 30, FineTuneEpochs: 6,
+}
+
+// BenchScale is the default for the benchmark harness: large enough for the
+// paper's orderings to be stable, small enough for a single CPU core.
+var BenchScale = Scale{
+	GCSource: 1200, GCTargetPool: 192, GCTargetTest: 480,
+	IPCSourceNormal: 1500, IPCSourceFaults: [4]int{60, 100, 240, 180},
+	IPCTargetNormal: 600, IPCTargetFaults: [4]int{40, 50, 90, 120},
+	IPCTrainPool:     12,
+	ClassifierEpochs: 20, Trees: 40, GANEpochs: 50, AdvEpochs: 15,
+	Episodes: 100, FineTuneEpochs: 15,
+}
+
+// FullScale matches the paper's sample counts (§IV); expect hours on one
+// CPU core.
+var FullScale = Scale{
+	GCSource: 3645, GCTargetPool: 192, GCTargetTest: 873,
+	IPCSourceNormal: 5315, IPCSourceFaults: [4]int{100, 226, 874, 619},
+	IPCTargetNormal: 2060, IPCTargetFaults: [4]int{95, 124, 311, 546},
+	IPCTrainPool:     12,
+	ClassifierEpochs: 30, Trees: 80, GANEpochs: 80, AdvEpochs: 30,
+	Episodes: 200, FineTuneEpochs: 30,
+}
+
+// ScaleByName resolves "quick", "bench", or "full".
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "quick":
+		return QuickScale, true
+	case "bench", "":
+		return BenchScale, true
+	case "full":
+		return FullScale, true
+	default:
+		return Scale{}, false
+	}
+}

@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netdrift/internal/baselines"
+	"netdrift/internal/dataset"
+	"netdrift/internal/metrics"
+	"netdrift/internal/models"
+)
+
+// Pair is one drifted dataset instance for the evaluation protocol.
+type Pair struct {
+	Name        string
+	Source      *dataset.Dataset
+	TargetTrain *dataset.Dataset // few-shot candidate pool
+	TargetTest  *dataset.Dataset
+	UseGroups   bool // stratify few-shot draws by fault type (5GIPC)
+	NumClasses  int
+}
+
+// MakePair generates the named dataset ("5gc" or "5gipc") at the given
+// scale.
+func MakePair(name string, sc Scale, seed int64) (*Pair, error) {
+	switch name {
+	case "5gc":
+		d, err := dataset.Synthetic5GC(dataset.FiveGCConfig{
+			Seed:              seed,
+			SourceSamples:     sc.GCSource,
+			TargetTrainPool:   sc.GCTargetPool,
+			TargetTestSamples: sc.GCTargetTest,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Pair{
+			Name:        name,
+			Source:      d.Source,
+			TargetTrain: d.TargetTrain,
+			TargetTest:  d.TargetTest,
+			NumClasses:  16,
+		}, nil
+	case "5gipc":
+		d, err := dataset.Synthetic5GIPC(dataset.FiveGIPCConfig{
+			Seed:                seed,
+			SourceNormal:        sc.IPCSourceNormal,
+			SourceFaults:        sc.IPCSourceFaults,
+			TargetNormal:        sc.IPCTargetNormal,
+			TargetFaults:        sc.IPCTargetFaults,
+			TargetTrainPerGroup: sc.IPCTrainPool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Pair{
+			Name:        name,
+			Source:      d.Source,
+			TargetTrain: d.Targets[0].Train,
+			TargetTest:  d.Targets[0].Test,
+			UseGroups:   true,
+			NumClasses:  2,
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+}
+
+// Table1Config drives the Table I reproduction.
+type Table1Config struct {
+	Dataset string // "5gc" or "5gipc"
+	Shots   []int  // default {1, 5, 10}
+	Repeats int    // few-shot redraws averaged per cell; default 3
+	Seed    int64
+	Scale   Scale
+	// Methods filters by method name; empty runs the full Table I roster.
+	Methods []string
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+}
+
+// MethodRow is one method's F1 results: Scores[shot][classifier] for
+// model-agnostic methods; model-specific methods use the single pseudo
+// classifier column "*".
+type MethodRow struct {
+	Method        string
+	ModelAgnostic bool
+	Category      string
+	Scores        map[int]map[string]float64
+}
+
+// Table1Result is the reproduced Table I for one dataset.
+type Table1Result struct {
+	Dataset     string
+	Shots       []int
+	Classifiers []string
+	Rows        []MethodRow
+	Repeats     int
+}
+
+// methodSpec builds a fresh method instance per repetition (methods carry
+// per-run seeds and caches).
+type methodSpec struct {
+	name     string
+	category string
+	build    func(sc Scale, seed int64) baselines.Method
+}
+
+func table1Roster() []methodSpec {
+	return []methodSpec{
+		{"FS+GAN (ours)", "Causal Learning", func(sc Scale, seed int64) baselines.Method {
+			return NewFSGAN(sc.GANEpochs, seed)
+		}},
+		{"FS (ours)", "Causal Learning", func(_ Scale, seed int64) baselines.Method {
+			return NewFS(seed)
+		}},
+		{"CMT", "Causal Learning", func(_ Scale, seed int64) baselines.Method {
+			return baselines.CMT{Seed: seed}
+		}},
+		{"ICD", "Causal Learning", func(_ Scale, seed int64) baselines.Method {
+			return baselines.ICD{Seed: seed}
+		}},
+		{"SrcOnly", "Naive Baselines", func(_ Scale, seed int64) baselines.Method {
+			return baselines.SrcOnly{}
+		}},
+		{"TarOnly", "Naive Baselines", func(_ Scale, seed int64) baselines.Method {
+			return baselines.TarOnly{}
+		}},
+		{"S&T", "Naive Baselines", func(_ Scale, seed int64) baselines.Method {
+			return baselines.SAndT{Seed: seed}
+		}},
+		{"Fine-tune", "Naive Baselines", func(sc Scale, seed int64) baselines.Method {
+			return &baselines.FineTune{Seed: seed, PretrainEpochs: sc.FineTuneEpochs, TuneEpochs: 3 * sc.FineTuneEpochs}
+		}},
+		{"CORAL", "Domain Independent", func(_ Scale, seed int64) baselines.Method {
+			return baselines.CORAL{Seed: seed}
+		}},
+		{"DANN", "Domain Independent", func(sc Scale, seed int64) baselines.Method {
+			return &baselines.DANN{Epochs: sc.AdvEpochs, Seed: seed}
+		}},
+		{"SCL", "Domain Independent", func(sc Scale, seed int64) baselines.Method {
+			return baselines.NewSCL(sc.AdvEpochs, seed)
+		}},
+		{"MatchNet", "Few-shot Learning", func(sc Scale, seed int64) baselines.Method {
+			return baselines.NewMatchNet(sc.Episodes, seed)
+		}},
+		{"ProtoNet", "Few-shot Learning", func(sc Scale, seed int64) baselines.Method {
+			return baselines.NewProtoNet(sc.Episodes, seed)
+		}},
+	}
+}
+
+// RunTable1 reproduces Table I for one dataset.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	if len(cfg.Shots) == 0 {
+		cfg.Shots = []int{1, 5, 10}
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Scale == (Scale{}) {
+		cfg.Scale = BenchScale
+	}
+	pair, err := MakePair(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	roster := filterRoster(table1Roster(), cfg.Methods)
+	if len(roster) == 0 {
+		return nil, fmt.Errorf("experiments: no methods match filter %v", cfg.Methods)
+	}
+
+	clfNames := make([]string, 0, len(models.AllKinds()))
+	for _, k := range models.AllKinds() {
+		clfNames = append(clfNames, k.String())
+	}
+
+	res := &Table1Result{
+		Dataset:     cfg.Dataset,
+		Shots:       append([]int(nil), cfg.Shots...),
+		Classifiers: clfNames,
+		Repeats:     cfg.Repeats,
+	}
+	acc := make(map[string]map[int]map[string][]float64)
+	for _, spec := range roster {
+		acc[spec.name] = make(map[int]map[string][]float64)
+		for _, s := range cfg.Shots {
+			acc[spec.name][s] = make(map[string][]float64)
+		}
+	}
+
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, shot := range cfg.Shots {
+			drawRng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*977 + int64(shot)))
+			support, _, err := pair.TargetTrain.FewShot(shot, pair.UseGroups, drawRng)
+			if err != nil {
+				return nil, err
+			}
+			for _, spec := range roster {
+				seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
+				m := spec.build(cfg.Scale, seed)
+				if m.ModelAgnostic() {
+					for _, kind := range models.AllKinds() {
+						clf, err := models.New(kind, models.Options{
+							Seed:   seed,
+							Epochs: cfg.Scale.ClassifierEpochs,
+							Trees:  cfg.Scale.Trees,
+						})
+						if err != nil {
+							return nil, err
+						}
+						f1, err := scoreMethod(m, pair, support, clf)
+						if err != nil {
+							return nil, fmt.Errorf("%s/%s shot=%d: %w", spec.name, kind, shot, err)
+						}
+						acc[spec.name][shot][kind.String()] = append(acc[spec.name][shot][kind.String()], f1)
+						progress(cfg.Progress, "%s %s/%s shot=%d rep=%d F1=%.1f",
+							cfg.Dataset, spec.name, kind, shot, rep, f1)
+					}
+				} else {
+					f1, err := scoreMethod(m, pair, support, nil)
+					if err != nil {
+						return nil, fmt.Errorf("%s shot=%d: %w", spec.name, shot, err)
+					}
+					acc[spec.name][shot]["*"] = append(acc[spec.name][shot]["*"], f1)
+					progress(cfg.Progress, "%s %s shot=%d rep=%d F1=%.1f",
+						cfg.Dataset, spec.name, shot, rep, f1)
+				}
+			}
+		}
+	}
+
+	for _, spec := range roster {
+		row := MethodRow{
+			Method:        spec.name,
+			Category:      spec.category,
+			ModelAgnostic: acc[spec.name][cfg.Shots[0]]["*"] == nil,
+			Scores:        make(map[int]map[string]float64),
+		}
+		for _, s := range cfg.Shots {
+			row.Scores[s] = make(map[string]float64)
+			for clf, vals := range acc[spec.name][s] {
+				row.Scores[s][clf] = mean(vals)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func scoreMethod(m baselines.Method, pair *Pair, support *dataset.Dataset, clf models.Classifier) (float64, error) {
+	pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.MacroF1Score(pair.TargetTest.Y, pred, pair.NumClasses)
+}
+
+func filterRoster(roster []methodSpec, names []string) []methodSpec {
+	if len(names) == 0 {
+		return roster
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []methodSpec
+	for _, spec := range roster {
+		if want[spec.name] {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+func progress(fn func(string), format string, args ...any) {
+	if fn != nil {
+		fn(fmt.Sprintf(format, args...))
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// BestScore returns the maximum cell value for a method row (any shot, any
+// classifier); useful in summaries and tests.
+func (r *Table1Result) BestScore(method string) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Method != method {
+			continue
+		}
+		best := -1.0
+		for _, byClf := range row.Scores {
+			for _, v := range byClf {
+				if v > best {
+					best = v
+				}
+			}
+		}
+		return best, best >= 0
+	}
+	return 0, false
+}
+
+// Score returns a specific cell (clf "*" for model-specific methods).
+func (r *Table1Result) Score(method string, shot int, clf string) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Method != method {
+			continue
+		}
+		byClf, ok := row.Scores[shot]
+		if !ok {
+			return 0, false
+		}
+		if v, ok := byClf[clf]; ok {
+			return v, true
+		}
+		v, ok := byClf["*"]
+		return v, ok
+	}
+	return 0, false
+}
+
+// MeanScore averages a method's cells across all shots and classifiers.
+func (r *Table1Result) MeanScore(method string) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Method != method {
+			continue
+		}
+		var vals []float64
+		for _, byClf := range row.Scores {
+			keys := make([]string, 0, len(byClf))
+			for k := range byClf {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				vals = append(vals, byClf[k])
+			}
+		}
+		if len(vals) == 0 {
+			return 0, false
+		}
+		return mean(vals), true
+	}
+	return 0, false
+}

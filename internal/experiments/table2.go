@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netdrift/internal/core"
+	"netdrift/internal/metrics"
+	"netdrift/internal/models"
+)
+
+// Table2Config drives the reconstruction-strategy ablation (Table II):
+// FS+GAN vs FS+NoCond vs FS+VAE vs FS+VanillaAE with the TNet classifier.
+type Table2Config struct {
+	Dataset  string // "5gc" or "5gipc"
+	Shots    []int  // default {1, 5, 10}
+	Repeats  int    // default 3
+	Seed     int64
+	Scale    Scale
+	Progress func(string)
+}
+
+// Table2Result holds Scores[reconstruction][shot] mean F1 with TNet.
+type Table2Result struct {
+	Dataset string
+	Shots   []int
+	Kinds   []core.ReconKind
+	Scores  map[core.ReconKind]map[int]float64
+	Repeats int
+}
+
+// RunTable2 reproduces the Table II ablation for one dataset.
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	if len(cfg.Shots) == 0 {
+		cfg.Shots = []int{1, 5, 10}
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Scale == (Scale{}) {
+		cfg.Scale = BenchScale
+	}
+	pair, err := MakePair(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []core.ReconKind{core.ReconGAN, core.ReconGANNoCond, core.ReconVAE, core.ReconVanillaAE}
+	acc := make(map[core.ReconKind]map[int][]float64, len(kinds))
+	for _, k := range kinds {
+		acc[k] = make(map[int][]float64)
+	}
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, shot := range cfg.Shots {
+			drawRng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*977 + int64(shot)))
+			support, _, err := pair.TargetTrain.FewShot(shot, pair.UseGroups, drawRng)
+			if err != nil {
+				return nil, err
+			}
+			for _, kind := range kinds {
+				seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
+				m := NewFSRecon(kind, cfg.Scale.GANEpochs, seed)
+				clf := models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
+				pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: table2 %s shot=%d: %w", kind, shot, err)
+				}
+				f1, err := metrics.MacroF1Score(pair.TargetTest.Y, pred, pair.NumClasses)
+				if err != nil {
+					return nil, err
+				}
+				acc[kind][shot] = append(acc[kind][shot], f1)
+				progress(cfg.Progress, "%s FS+%s shot=%d rep=%d F1=%.1f", cfg.Dataset, kind, shot, rep, f1)
+			}
+		}
+	}
+	res := &Table2Result{
+		Dataset: cfg.Dataset,
+		Shots:   append([]int(nil), cfg.Shots...),
+		Kinds:   kinds,
+		Scores:  make(map[core.ReconKind]map[int]float64, len(kinds)),
+		Repeats: cfg.Repeats,
+	}
+	for _, k := range kinds {
+		res.Scores[k] = make(map[int]float64)
+		for _, s := range cfg.Shots {
+			res.Scores[k][s] = mean(acc[k][s])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netdrift/internal/core"
+	"netdrift/internal/dataset"
+	"netdrift/internal/metrics"
+	"netdrift/internal/models"
+)
+
+// Table3Config drives the multi-target no-retraining experiment (§VI-F):
+// a single TNet fault-detection model trained only on Source, with two
+// FS+GAN adapters (one per target domain) cross-evaluated on both targets.
+type Table3Config struct {
+	Shots    []int // default {1, 5, 10}
+	Repeats  int   // default 3
+	Seed     int64
+	Scale    Scale
+	Progress func(string)
+}
+
+// Table3Result holds Scores[adapter][target][shot]: F1 of the shared
+// source-trained TNet on target `target` when DA is performed by
+// FS+GAN_{adapter+1}.
+type Table3Result struct {
+	Shots   []int
+	Scores  [2][2]map[int]float64
+	Repeats int
+	// CommonVariantFraction is |V1 ∩ V2| / |V1 ∪ V2| averaged over runs —
+	// the paper's observation that most variant features are shared.
+	CommonVariantFraction float64
+}
+
+// RunTable3 reproduces Table III on the synthetic 5GIPC dataset split into
+// Source, Target_1, and Target_2.
+func RunTable3(cfg Table3Config) (*Table3Result, error) {
+	if len(cfg.Shots) == 0 {
+		cfg.Shots = []int{1, 5, 10}
+	}
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Scale == (Scale{}) {
+		cfg.Scale = BenchScale
+	}
+	d, err := dataset.Synthetic5GIPC(dataset.FiveGIPCConfig{
+		Seed:                cfg.Seed,
+		SourceNormal:        cfg.Scale.IPCSourceNormal,
+		SourceFaults:        cfg.Scale.IPCSourceFaults,
+		TargetNormal:        cfg.Scale.IPCTargetNormal,
+		TargetFaults:        cfg.Scale.IPCTargetFaults,
+		TargetTrainPerGroup: cfg.Scale.IPCTrainPool,
+		NumTargets:          2,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table3Result{Shots: append([]int(nil), cfg.Shots...), Repeats: cfg.Repeats}
+	acc := [2][2]map[int][]float64{}
+	for a := 0; a < 2; a++ {
+		for t := 0; t < 2; t++ {
+			acc[a][t] = make(map[int][]float64)
+		}
+	}
+	var commonSum float64
+	var commonN int
+
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for _, shot := range cfg.Shots {
+			seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
+			// One shared TNet trained exclusively on scaled source data.
+			var clf *models.TNet
+			var adapters [2]*core.Adapter
+			for a := 0; a < 2; a++ {
+				drawRng := rand.New(rand.NewSource(seed + int64(a)*13))
+				support, _, err := d.Targets[a].Train.FewShot(shot, true, drawRng)
+				if err != nil {
+					return nil, err
+				}
+				ad := core.NewAdapter(core.AdapterConfig{
+					Mode:  core.ModeFSRecon,
+					Recon: core.ReconGAN,
+					GAN:   core.GANConfig{Epochs: cfg.Scale.GANEpochs},
+					Seed:  seed + int64(a),
+				})
+				if err := ad.Fit(d.Source, support); err != nil {
+					return nil, fmt.Errorf("experiments: table3 adapter %d: %w", a+1, err)
+				}
+				adapters[a] = ad
+				if a == 0 {
+					train, err := ad.TrainingData(d.Source)
+					if err != nil {
+						return nil, err
+					}
+					clf = models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
+					if err := clf.Fit(train.X, train.Y, 2); err != nil {
+						return nil, fmt.Errorf("experiments: table3 tnet: %w", err)
+					}
+				}
+			}
+			commonSum += jaccard(adapters[0].VariantFeatures(), adapters[1].VariantFeatures())
+			commonN++
+
+			for a := 0; a < 2; a++ {
+				for t := 0; t < 2; t++ {
+					aligned, err := adapters[a].TransformTarget(d.Targets[t].Test.X)
+					if err != nil {
+						return nil, err
+					}
+					pred, err := models.PredictClasses(clf, aligned)
+					if err != nil {
+						return nil, err
+					}
+					f1, err := metrics.MacroF1Score(d.Targets[t].Test.Y, pred, 2)
+					if err != nil {
+						return nil, err
+					}
+					acc[a][t][shot] = append(acc[a][t][shot], f1)
+					progress(cfg.Progress, "FS+GAN_%d on Target_%d shot=%d rep=%d F1=%.1f",
+						a+1, t+1, shot, rep, f1)
+				}
+			}
+		}
+	}
+	for a := 0; a < 2; a++ {
+		for t := 0; t < 2; t++ {
+			res.Scores[a][t] = make(map[int]float64)
+			for _, s := range cfg.Shots {
+				res.Scores[a][t][s] = mean(acc[a][t][s])
+			}
+		}
+	}
+	if commonN > 0 {
+		res.CommonVariantFraction = commonSum / float64(commonN)
+	}
+	return res, nil
+}
+
+func jaccard(a, b []int) float64 {
+	setA := make(map[int]bool, len(a))
+	for _, v := range a {
+		setA[v] = true
+	}
+	var inter int
+	setU := make(map[int]bool, len(a)+len(b))
+	for _, v := range a {
+		setU[v] = true
+	}
+	for _, v := range b {
+		if setA[v] {
+			inter++
+		}
+		setU[v] = true
+	}
+	if len(setU) == 0 {
+		return 0
+	}
+	return float64(inter) / float64(len(setU))
+}

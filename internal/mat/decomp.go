@@ -1,0 +1,192 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve solves the linear system a*x = b for x using Gaussian elimination
+// with partial pivoting. a must be square; b may have multiple columns.
+// Neither input is modified.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: coefficient matrix is %dx%d", ErrShape, a.rows, a.cols)
+	}
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("%w: a is %dx%d, b has %d rows", ErrShape, a.rows, a.cols, b.rows)
+	}
+	n := a.rows
+	// Augmented working copies.
+	aw := a.Clone()
+	bw := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(aw.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aw.At(r, col)); v > maxAbs {
+				maxAbs = v
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, fmt.Errorf("%w: pivot %d", ErrSingular, col)
+		}
+		if pivot != col {
+			swapRows(aw, pivot, col)
+			swapRows(bw, pivot, col)
+		}
+		// Eliminate below.
+		pivVal := aw.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := aw.At(r, col) / pivVal
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				aw.Set(r, c, aw.At(r, c)-factor*aw.At(col, c))
+			}
+			for c := 0; c < bw.cols; c++ {
+				bw.Set(r, c, bw.At(r, c)-factor*bw.At(col, c))
+			}
+		}
+	}
+	// Back substitution.
+	x := New(n, bw.cols)
+	for c := 0; c < bw.cols; c++ {
+		for r := n - 1; r >= 0; r-- {
+			s := bw.At(r, c)
+			for k := r + 1; k < n; k++ {
+				s -= aw.At(r, k) * x.At(k, c)
+			}
+			x.Set(r, c, s/aw.At(r, r))
+		}
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Inverse returns the inverse of a square matrix.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: %dx%d", ErrShape, a.rows, a.cols)
+	}
+	return Solve(a, Identity(a.rows))
+}
+
+// Cholesky computes the lower-triangular factor L with a = L*Lᵀ.
+// Returns ErrNotPD when a is not (numerically) positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				d := a.At(i, i) - s
+				if d <= 0 {
+					return nil, fmt.Errorf("%w: leading minor %d", ErrNotPD, i)
+				}
+				l.Set(i, j, math.Sqrt(d))
+			} else {
+				l.Set(i, j, (a.At(i, j)-s)/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// LogDetPD returns the log-determinant of a positive-definite matrix via its
+// Cholesky factor.
+func LogDetPD(a *Matrix) (float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return 0, err
+	}
+	var ld float64
+	for i := 0; i < l.rows; i++ {
+		ld += math.Log(l.At(i, i))
+	}
+	return 2 * ld, nil
+}
+
+// Covariance computes the (cols×cols) sample covariance matrix of the rows
+// of x, using the unbiased 1/(n-1) normalization. x must have at least two
+// rows.
+func Covariance(x *Matrix) (*Matrix, error) {
+	n, d := x.Dims()
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 rows, have %d", ErrShape, n)
+	}
+	means := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := x.data[i*d : (i+1)*d]
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	cov := New(d, d)
+	for i := 0; i < n; i++ {
+		row := x.data[i*d : (i+1)*d]
+		for a := 0; a < d; a++ {
+			da := row[a] - means[a]
+			if da == 0 {
+				continue
+			}
+			crow := cov.data[a*d : (a+1)*d]
+			for b := a; b < d; b++ {
+				crow[b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	norm := 1.0 / float64(n-1)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) * norm
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov, nil
+}
+
+// CorrelationFromCov converts a covariance matrix into a correlation matrix.
+// Zero-variance dimensions yield zero correlations (and unit diagonal).
+func CorrelationFromCov(cov *Matrix) *Matrix {
+	d := cov.rows
+	corr := New(d, d)
+	sd := make([]float64, d)
+	for i := 0; i < d; i++ {
+		sd[i] = math.Sqrt(math.Max(cov.At(i, i), 0))
+	}
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			if a == b {
+				corr.Set(a, b, 1)
+				continue
+			}
+			if sd[a] == 0 || sd[b] == 0 {
+				continue
+			}
+			corr.Set(a, b, cov.At(a, b)/(sd[a]*sd[b]))
+		}
+	}
+	return corr
+}

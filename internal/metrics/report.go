@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClassReport holds one class's precision/recall/F1 and support.
+type ClassReport struct {
+	Class     int
+	Name      string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// Report is a per-class breakdown plus aggregate scores.
+type Report struct {
+	Classes  []ClassReport
+	Accuracy float64
+	MacroF1  float64
+}
+
+// NewReport builds a classification report. classNames is optional; when
+// shorter than numClasses, remaining classes are named "class<i>".
+func NewReport(yTrue, yPred []int, numClasses int, classNames []string) (*Report, error) {
+	c, err := NewConfusion(yTrue, yPred, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Accuracy: c.Accuracy(),
+		MacroF1:  c.MacroF1(),
+	}
+	f1s := c.PerClassF1()
+	for cls := 0; cls < numClasses; cls++ {
+		var tp, fp, fn, support int
+		for j := 0; j < numClasses; j++ {
+			if j == cls {
+				tp = c.Counts[cls][cls]
+			} else {
+				fn += c.Counts[cls][j]
+				fp += c.Counts[j][cls]
+			}
+			support += c.Counts[cls][j]
+		}
+		cr := ClassReport{Class: cls, F1: f1s[cls], Support: support}
+		if cls < len(classNames) {
+			cr.Name = classNames[cls]
+		} else {
+			cr.Name = fmt.Sprintf("class%d", cls)
+		}
+		if tp+fp > 0 {
+			cr.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			cr.Recall = float64(tp) / float64(tp+fn)
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	return rep, nil
+}
+
+// String renders the report in the familiar sklearn-style layout.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %9s %9s %9s %9s\n", "", "precision", "recall", "f1", "support")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&sb, "%-24s %9.3f %9.3f %9.3f %9d\n",
+			c.Name, c.Precision, c.Recall, c.F1, c.Support)
+	}
+	fmt.Fprintf(&sb, "\n%-24s %9.3f\n", "accuracy", r.Accuracy)
+	fmt.Fprintf(&sb, "%-24s %9.3f\n", "macro F1", r.MacroF1)
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReportKnownValues(t *testing.T) {
+	// Class 0: tp=1 fp=1 fn=1 -> P=0.5 R=0.5 F1=0.5, support 2.
+	// Class 1: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3, support 3.
+	// Class 2: tp=1 fp=0 fn=0 -> P=1 R=1 F1=1, support 1.
+	yTrue := []int{0, 0, 1, 1, 1, 2}
+	yPred := []int{0, 1, 1, 1, 0, 2}
+	rep, err := NewReport(yTrue, yPred, 3, []string{"normal", "fault"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("classes = %d; want 3", len(rep.Classes))
+	}
+	checks := []struct {
+		p, r, f1 float64
+		support  int
+		name     string
+	}{
+		{0.5, 0.5, 0.5, 2, "normal"},
+		{2.0 / 3, 2.0 / 3, 2.0 / 3, 3, "fault"},
+		{1, 1, 1, 1, "class2"}, // name falls back when classNames is short
+	}
+	for i, want := range checks {
+		got := rep.Classes[i]
+		if math.Abs(got.Precision-want.p) > 1e-12 ||
+			math.Abs(got.Recall-want.r) > 1e-12 ||
+			math.Abs(got.F1-want.f1) > 1e-12 {
+			t.Errorf("class %d: P/R/F1 = %.3f/%.3f/%.3f; want %.3f/%.3f/%.3f",
+				i, got.Precision, got.Recall, got.F1, want.p, want.r, want.f1)
+		}
+		if got.Support != want.support {
+			t.Errorf("class %d support = %d; want %d", i, got.Support, want.support)
+		}
+		if got.Name != want.name {
+			t.Errorf("class %d name = %q; want %q", i, got.Name, want.name)
+		}
+	}
+	if math.Abs(rep.Accuracy-4.0/6.0) > 1e-12 {
+		t.Errorf("accuracy = %v; want 4/6", rep.Accuracy)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := NewReport([]int{0, 1}, []int{0, 1}, 2, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"precision", "recall", "support", "a", "b", "macro F1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	if _, err := NewReport([]int{0}, []int{0, 1}, 2, nil); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}

@@ -1,0 +1,91 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netdrift/internal/nn"
+)
+
+// MLPClassifier is a plain two-hidden-layer perceptron trained with Adam.
+type MLPClassifier struct {
+	opts Options
+
+	net        *nn.Network
+	numClasses int
+	in         int
+}
+
+var _ Classifier = (*MLPClassifier)(nil)
+
+// NewMLPClassifier creates an untrained MLP classifier.
+func NewMLPClassifier(opts Options) *MLPClassifier {
+	if opts.Epochs == 0 {
+		opts.Epochs = 30
+	}
+	return &MLPClassifier{opts: opts}
+}
+
+// Name implements Classifier.
+func (m *MLPClassifier) Name() string { return "MLP" }
+
+// Fit trains the network with softmax cross-entropy.
+func (m *MLPClassifier) Fit(x [][]float64, y []int, numClasses int) error {
+	if err := validateFit(x, y, numClasses); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.opts.Seed))
+	m.in = len(x[0])
+	m.numClasses = numClasses
+	m.net = nn.NewMLP(nn.MLPConfig{
+		In:      m.in,
+		Hidden:  []int{128, 64},
+		Out:     numClasses,
+		Dropout: 0.1,
+		Rng:     rng,
+	})
+	return trainSoftmaxNet(m.net, x, y, m.opts.Epochs, 64, 1e-3, rng)
+}
+
+// PredictProba implements Classifier.
+func (m *MLPClassifier) PredictProba(x [][]float64) ([][]float64, error) {
+	if m.net == nil {
+		return nil, ErrNotFitted
+	}
+	return softmaxForward(m.net, x, m.in)
+}
+
+// trainSoftmaxNet runs standard minibatch training with Adam.
+func trainSoftmaxNet(net *nn.Network, x [][]float64, y []int, epochs, batch int, lr float64, rng *rand.Rand) error {
+	opt := nn.NewAdam(lr, 1e-5)
+	params := net.Params()
+	for epoch := 0; epoch < epochs; epoch++ {
+		for _, idx := range nn.Minibatches(len(x), batch, rng) {
+			bx := nn.Gather(x, idx)
+			by := nn.GatherLabels(y, idx)
+			out := net.Forward(bx, true)
+			_, grad, err := nn.SoftmaxCE(out, by)
+			if err != nil {
+				return fmt.Errorf("models: epoch %d: %w", epoch, err)
+			}
+			net.Backward(grad)
+			opt.Step(params)
+		}
+	}
+	return nil
+}
+
+func softmaxForward(net *nn.Network, x [][]float64, wantIn int) ([][]float64, error) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	if len(x[0]) != wantIn {
+		return nil, fmt.Errorf("models: input width %d, trained on %d", len(x[0]), wantIn)
+	}
+	logits := net.Forward(x, false)
+	out := make([][]float64, len(logits))
+	for i, row := range logits {
+		out[i] = nn.Softmax(row)
+	}
+	return out, nil
+}

@@ -1,0 +1,262 @@
+// Package monitor implements online drift detection over telemetry
+// streams. The paper notes (§VI-D) that FS and the GAN only need re-running
+// when the data distribution shifts again, and that such refreshes are
+// "infrequently triggered"; this package supplies the trigger: it compares
+// windows of incoming (unlabelled) telemetry against a source-domain
+// reference using per-feature two-sample statistics and raises a drift
+// signal when enough features depart.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"netdrift/internal/stats"
+)
+
+// ErrNotFitted is returned when the detector is used before Fit.
+var ErrNotFitted = errors.New("monitor: detector not fitted")
+
+// Config tunes the drift detector.
+type Config struct {
+	// Alpha is the per-feature KS-test significance level after Bonferroni
+	// correction across features (default 0.01).
+	Alpha float64
+	// MinFraction is the fraction of features that must reject before the
+	// window is declared drifted (default 0.02, i.e. 2% of features).
+	MinFraction float64
+	// PSIBins is the number of quantile bins for the population stability
+	// index (default 10).
+	PSIBins int
+	// PSIThreshold flags a feature as drifted when its PSI exceeds this
+	// value (industry convention: 0.2 = significant shift; default 0.2).
+	PSIThreshold float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.MinFraction == 0 {
+		c.MinFraction = 0.02
+	}
+	if c.PSIBins == 0 {
+		c.PSIBins = 10
+	}
+	if c.PSIThreshold == 0 {
+		c.PSIThreshold = 0.2
+	}
+}
+
+// Detector holds per-feature reference distributions from the source
+// domain.
+type Detector struct {
+	cfg Config
+
+	refSorted [][]float64 // per feature, ascending reference values
+	binEdges  [][]float64 // per feature, PSI quantile edges
+	refProps  [][]float64 // per feature, reference bin proportions
+	fitted    bool
+}
+
+// New creates an unfitted detector.
+func New(cfg Config) *Detector {
+	cfg.applyDefaults()
+	return &Detector{cfg: cfg}
+}
+
+// Fit records the reference (source-domain) distribution.
+func (d *Detector) Fit(reference [][]float64) error {
+	if len(reference) < 10 {
+		return fmt.Errorf("monitor: need >= 10 reference rows, have %d", len(reference))
+	}
+	width := len(reference[0])
+	if width == 0 {
+		return errors.New("monitor: zero-width reference rows")
+	}
+	d.refSorted = make([][]float64, width)
+	d.binEdges = make([][]float64, width)
+	d.refProps = make([][]float64, width)
+	col := make([]float64, len(reference))
+	for j := 0; j < width; j++ {
+		for i, row := range reference {
+			if len(row) != width {
+				return fmt.Errorf("monitor: ragged reference row %d", i)
+			}
+			col[i] = row[j]
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		d.refSorted[j] = sorted
+
+		edges := make([]float64, d.cfg.PSIBins-1)
+		for b := 1; b < d.cfg.PSIBins; b++ {
+			q, err := stats.Quantile(sorted, float64(b)/float64(d.cfg.PSIBins))
+			if err != nil {
+				return err
+			}
+			edges[b-1] = q
+		}
+		d.binEdges[j] = edges
+		d.refProps[j] = binProportions(sorted, edges)
+	}
+	d.fitted = true
+	return nil
+}
+
+// Report is the outcome of checking one telemetry window.
+type Report struct {
+	// Drifted is true when the window departs from the reference enough to
+	// warrant re-running FS and retraining the GAN.
+	Drifted bool
+	// DriftedFeatures lists feature indices whose KS test rejected.
+	DriftedFeatures []int
+	// KSPValues holds the per-feature KS p-values.
+	KSPValues []float64
+	// PSI holds the per-feature population stability index.
+	PSI []float64
+	// MaxPSI is the largest per-feature PSI in the window.
+	MaxPSI float64
+}
+
+// Check compares a window of telemetry rows against the reference.
+func (d *Detector) Check(window [][]float64) (*Report, error) {
+	if !d.fitted {
+		return nil, ErrNotFitted
+	}
+	if len(window) < 5 {
+		return nil, fmt.Errorf("monitor: need >= 5 window rows, have %d", len(window))
+	}
+	width := len(d.refSorted)
+	rep := &Report{
+		KSPValues: make([]float64, width),
+		PSI:       make([]float64, width),
+	}
+	bonferroni := d.cfg.Alpha / float64(width)
+	col := make([]float64, len(window))
+	for j := 0; j < width; j++ {
+		for i, row := range window {
+			if len(row) != width {
+				return nil, fmt.Errorf("monitor: window row %d has %d features, want %d", i, len(row), width)
+			}
+			col[i] = row[j]
+		}
+		p := KSTwoSamplePValue(d.refSorted[j], col)
+		rep.KSPValues[j] = p
+		if p < bonferroni {
+			rep.DriftedFeatures = append(rep.DriftedFeatures, j)
+		}
+		psi := PSI(d.refProps[j], binProportions(sortedCopy(col), d.binEdges[j]))
+		rep.PSI[j] = psi
+		if psi > rep.MaxPSI {
+			rep.MaxPSI = psi
+		}
+	}
+	need := int(math.Ceil(d.cfg.MinFraction * float64(width)))
+	if need < 1 {
+		need = 1
+	}
+	var psiHits int
+	for _, v := range rep.PSI {
+		if v > d.cfg.PSIThreshold {
+			psiHits++
+		}
+	}
+	rep.Drifted = len(rep.DriftedFeatures) >= need || psiHits >= need
+	return rep, nil
+}
+
+// KSTwoSamplePValue computes the two-sample Kolmogorov–Smirnov p-value via
+// the asymptotic Kolmogorov distribution. refSorted must be ascending;
+// sample may be in any order.
+func KSTwoSamplePValue(refSorted, sample []float64) float64 {
+	n := float64(len(refSorted))
+	m := float64(len(sample))
+	if n == 0 || m == 0 {
+		return 1
+	}
+	s := sortedCopy(sample)
+	// Walk both empirical CDFs.
+	var i, j int
+	var dMax float64
+	for i < len(refSorted) && j < len(s) {
+		if refSorted[i] <= s[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/n - float64(j)/m)
+		if diff > dMax {
+			dMax = diff
+		}
+	}
+	en := math.Sqrt(n * m / (n + m))
+	lambda := (en + 0.12 + 0.11/en) * dMax
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ is the survival function of the Kolmogorov distribution.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*lambda*lambda*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// PSI computes the population stability index between two bin-proportion
+// vectors (same binning). Empty bins are floored to avoid infinities.
+func PSI(ref, cur []float64) float64 {
+	const floor = 1e-4
+	var psi float64
+	for b := range ref {
+		r := math.Max(ref[b], floor)
+		c := math.Max(cur[b], floor)
+		psi += (c - r) * math.Log(c/r)
+	}
+	return psi
+}
+
+// binProportions buckets ascending values by the given edges.
+func binProportions(sorted []float64, edges []float64) []float64 {
+	props := make([]float64, len(edges)+1)
+	if len(sorted) == 0 {
+		return props
+	}
+	b := 0
+	for _, v := range sorted {
+		for b < len(edges) && v > edges[b] {
+			b++
+		}
+		props[b]++
+	}
+	inv := 1 / float64(len(sorted))
+	for i := range props {
+		props[i] *= inv
+	}
+	return props
+}
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,215 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netdrift/internal/dataset"
+)
+
+func gaussRows(n, d int, shift float64, shiftCols []int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	isShift := map[int]bool{}
+	for _, c := range shiftCols {
+		isShift[c] = true
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			if isShift[j] {
+				row[j] += shift
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestDetectorNoDriftStaysQuiet(t *testing.T) {
+	det := New(Config{})
+	if err := det.Fit(gaussRows(2000, 20, 0, nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Several clean windows: none should trigger.
+	for w := 0; w < 5; w++ {
+		rep, err := det.Check(gaussRows(200, 20, 0, nil, int64(100+w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Drifted {
+			t.Errorf("window %d: false drift alarm (features %v)", w, rep.DriftedFeatures)
+		}
+	}
+}
+
+func TestDetectorCatchesShift(t *testing.T) {
+	det := New(Config{})
+	if err := det.Fit(gaussRows(2000, 20, 0, nil, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := det.Check(gaussRows(200, 20, 1.5, []int{3, 7, 11}, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drifted {
+		t.Fatal("shifted window not detected")
+	}
+	found := map[int]bool{}
+	for _, f := range rep.DriftedFeatures {
+		found[f] = true
+	}
+	for _, want := range []int{3, 7, 11} {
+		if !found[want] {
+			t.Errorf("shifted feature %d not flagged; flagged=%v", want, rep.DriftedFeatures)
+		}
+	}
+	if len(rep.DriftedFeatures) > 5 {
+		t.Errorf("too many false positives: %v", rep.DriftedFeatures)
+	}
+	if rep.MaxPSI <= 0.2 {
+		t.Errorf("MaxPSI = %v; want > 0.2 for a 1.5σ shift", rep.MaxPSI)
+	}
+}
+
+func TestDetectorCatchesVarianceChange(t *testing.T) {
+	det := New(Config{})
+	if err := det.Fit(gaussRows(2000, 10, 0, nil, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Triple the spread of one feature (mean unchanged): KS catches shape.
+	rng := rand.New(rand.NewSource(300))
+	window := make([][]float64, 300)
+	for i := range window {
+		row := make([]float64, 10)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[4] *= 3
+		window[i] = row
+	}
+	rep, err := det.Check(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drifted {
+		t.Error("variance change not detected")
+	}
+}
+
+func TestDetectorOnSynthetic5GIPC(t *testing.T) {
+	d, err := dataset.Synthetic5GIPC(dataset.FiveGIPCConfig{
+		Seed:         5,
+		SourceNormal: 800, SourceFaults: [4]int{30, 40, 80, 60},
+		TargetNormal: 300, TargetFaults: [4]int{15, 20, 40, 30},
+		TargetTrainPerGroup: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := New(Config{})
+	if err := det.Fit(d.Source.X); err != nil {
+		t.Fatal(err)
+	}
+	// A window of source data: quiet.
+	quietRep, err := det.Check(d.Source.X[:250])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quietRep.Drifted {
+		t.Error("false alarm on in-domain window")
+	}
+	// A window of target data: drifted.
+	driftRep, err := det.Check(d.Targets[0].Test.X[:250])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !driftRep.Drifted {
+		t.Error("target-domain drift not detected")
+	}
+	if len(driftRep.DriftedFeatures) <= len(quietRep.DriftedFeatures) {
+		t.Error("target window should flag more features than source window")
+	}
+}
+
+func TestDetectorErrors(t *testing.T) {
+	det := New(Config{})
+	if _, err := det.Check([][]float64{{1}}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("err = %v; want ErrNotFitted", err)
+	}
+	if err := det.Fit(gaussRows(3, 2, 0, nil, 1)); err == nil {
+		t.Error("expected error for tiny reference")
+	}
+	if err := det.Fit(gaussRows(100, 3, 0, nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Check(gaussRows(2, 3, 0, nil, 1)); err == nil {
+		t.Error("expected error for tiny window")
+	}
+	if _, err := det.Check(gaussRows(10, 5, 0, nil, 1)); err == nil {
+		t.Error("expected error for width mismatch")
+	}
+}
+
+func TestKSPValueProperties(t *testing.T) {
+	// Identical samples: p ≈ 1. Disjoint samples: p ≈ 0.
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 10000
+	}
+	if p := KSTwoSamplePValue(a, a); p < 0.99 {
+		t.Errorf("KS p for identical samples = %v; want ~1", p)
+	}
+	if p := KSTwoSamplePValue(a, b); p > 1e-6 {
+		t.Errorf("KS p for disjoint samples = %v; want ~0", p)
+	}
+	if p := KSTwoSamplePValue(nil, a); p != 1 {
+		t.Errorf("KS p with empty reference = %v; want 1", p)
+	}
+}
+
+// Property: KS p-values stay in [0, 1] for random inputs.
+func TestKSPValueRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 50)
+		b := make([]float64, 30)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + rng.Float64()
+		}
+		sortFloats(a)
+		p := KSTwoSamplePValue(a, b)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSIKnownValues(t *testing.T) {
+	same := []float64{0.25, 0.25, 0.25, 0.25}
+	if psi := PSI(same, same); math.Abs(psi) > 1e-12 {
+		t.Errorf("PSI of identical distributions = %v; want 0", psi)
+	}
+	shifted := []float64{0.1, 0.2, 0.3, 0.4}
+	if psi := PSI(same, shifted); psi <= 0 {
+		t.Errorf("PSI of different distributions = %v; want > 0", psi)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm normalizes each feature over the batch during training and uses
+// running statistics at inference. Gamma/beta are learnable. The paper's
+// CTGAN-style generator uses batch normalization in its hidden layers
+// (§V-C3).
+type BatchNorm struct {
+	Dim      int
+	Momentum float64 // running-stat update rate (default 0.1)
+	Eps      float64
+
+	gamma, beta             *Param
+	runningMean, runningVar []float64
+
+	// forward caches
+	xHat     [][]float64
+	std      []float64
+	batchLen int
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// NewBatchNorm creates a batch-normalization layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	if dim <= 0 {
+		panic(fmt.Sprintf("nn: invalid batchnorm dim %d", dim))
+	}
+	bn := &BatchNorm{
+		Dim:         dim,
+		Momentum:    0.1,
+		Eps:         1e-5,
+		gamma:       NewParam(fmt.Sprintf("bn%d.gamma", dim), dim),
+		beta:        NewParam(fmt.Sprintf("bn%d.beta", dim), dim),
+		runningMean: make([]float64, dim),
+		runningVar:  make([]float64, dim),
+	}
+	for i := range bn.gamma.Data {
+		bn.gamma.Data[i] = 1
+		bn.runningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes the batch (training) or applies running stats
+// (inference).
+func (bn *BatchNorm) Forward(x [][]float64, train bool) [][]float64 {
+	n := len(x)
+	out := make([][]float64, n)
+	if !train || n == 1 {
+		// Inference path (also used for degenerate single-sample batches).
+		bn.xHat = nil
+		for i, row := range x {
+			o := make([]float64, bn.Dim)
+			for j, v := range row {
+				xh := (v - bn.runningMean[j]) / math.Sqrt(bn.runningVar[j]+bn.Eps)
+				o[j] = bn.gamma.Data[j]*xh + bn.beta.Data[j]
+			}
+			out[i] = o
+		}
+		return out
+	}
+
+	mean := make([]float64, bn.Dim)
+	for _, row := range x {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	variance := make([]float64, bn.Dim)
+	for _, row := range x {
+		for j, v := range row {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= float64(n)
+	}
+
+	bn.std = make([]float64, bn.Dim)
+	for j := range bn.std {
+		bn.std[j] = math.Sqrt(variance[j] + bn.Eps)
+	}
+	bn.xHat = make([][]float64, n)
+	bn.batchLen = n
+	for i, row := range x {
+		xh := make([]float64, bn.Dim)
+		o := make([]float64, bn.Dim)
+		for j, v := range row {
+			xh[j] = (v - mean[j]) / bn.std[j]
+			o[j] = bn.gamma.Data[j]*xh[j] + bn.beta.Data[j]
+		}
+		bn.xHat[i] = xh
+		out[i] = o
+	}
+	for j := range mean {
+		bn.runningMean[j] = (1-bn.Momentum)*bn.runningMean[j] + bn.Momentum*mean[j]
+		bn.runningVar[j] = (1-bn.Momentum)*bn.runningVar[j] + bn.Momentum*variance[j]
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (bn *BatchNorm) Backward(gradOut [][]float64) [][]float64 {
+	if bn.xHat == nil {
+		// Inference-mode backward (running stats treated as constants).
+		gradIn := make([][]float64, len(gradOut))
+		for i, gRow := range gradOut {
+			gi := make([]float64, bn.Dim)
+			for j, g := range gRow {
+				gi[j] = g * bn.gamma.Data[j] / math.Sqrt(bn.runningVar[j]+bn.Eps)
+			}
+			gradIn[i] = gi
+		}
+		return gradIn
+	}
+	n := float64(bn.batchLen)
+	sumG := make([]float64, bn.Dim)  // Σ dL/dy
+	sumGX := make([]float64, bn.Dim) // Σ dL/dy · x̂
+	for i, gRow := range gradOut {
+		for j, g := range gRow {
+			sumG[j] += g
+			sumGX[j] += g * bn.xHat[i][j]
+			bn.beta.Grad[j] += g
+			bn.gamma.Grad[j] += g * bn.xHat[i][j]
+		}
+	}
+	gradIn := make([][]float64, len(gradOut))
+	for i, gRow := range gradOut {
+		gi := make([]float64, bn.Dim)
+		for j, g := range gRow {
+			gi[j] = bn.gamma.Data[j] / (n * bn.std[j]) *
+				(n*g - sumG[j] - bn.xHat[i][j]*sumGX[j])
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }

@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is a differentiable network stage. Forward caches whatever Backward
+// needs; Backward consumes the gradient w.r.t. the layer output,
+// accumulates parameter gradients, and returns the gradient w.r.t. the
+// layer input. A layer instance processes one batch at a time (the usual
+// sequential-training contract).
+type Layer interface {
+	Forward(x [][]float64, train bool) [][]float64
+	Backward(gradOut [][]float64) [][]float64
+	Params() []*Param
+}
+
+// Dense is a fully-connected layer: y = x·Wᵀ + b.
+type Dense struct {
+	In, Out int
+
+	w, b  *Param
+	input [][]float64
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a dense layer with He-uniform initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense shape %dx%d", in, out))
+	}
+	d := &Dense{
+		In:  in,
+		Out: out,
+		w:   NewParam(fmt.Sprintf("dense%dx%d.w", in, out), in*out),
+		b:   NewParam(fmt.Sprintf("dense%dx%d.b", in, out), out),
+	}
+	limit := math.Sqrt(6.0 / float64(in))
+	for i := range d.w.Data {
+		d.w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return d
+}
+
+// Forward computes the affine map for a batch.
+func (d *Dense) Forward(x [][]float64, _ bool) [][]float64 {
+	d.input = x
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, d.Out)
+		copy(o, d.b.Data)
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			wRow := d.w.Data[j*d.Out : (j+1)*d.Out]
+			for k, w := range wRow {
+				o[k] += v * w
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Backward accumulates dL/dW, dL/db and returns dL/dx.
+func (d *Dense) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := make([][]float64, len(gradOut))
+	for i, gRow := range gradOut {
+		in := d.input[i]
+		gi := make([]float64, d.In)
+		for j, v := range in {
+			wRow := d.w.Data[j*d.Out : (j+1)*d.Out]
+			gwRow := d.w.Grad[j*d.Out : (j+1)*d.Out]
+			var s float64
+			for k, g := range gRow {
+				s += g * wRow[k]
+				gwRow[k] += g * v
+			}
+			gi[j] = s
+		}
+		for k, g := range gRow {
+			d.b.Grad[k] += g
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns the layer's weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// activation is shared machinery for elementwise activations.
+type activation struct {
+	fn    func(float64) float64
+	deriv func(x, y float64) float64 // derivative given input x and output y
+	input [][]float64
+	out   [][]float64
+}
+
+func (a *activation) Forward(x [][]float64, _ bool) [][]float64 {
+	a.input = x
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = a.fn(v)
+		}
+		out[i] = o
+	}
+	a.out = out
+	return out
+}
+
+func (a *activation) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := make([][]float64, len(gradOut))
+	for i, gRow := range gradOut {
+		gi := make([]float64, len(gRow))
+		for j, g := range gRow {
+			gi[j] = g * a.deriv(a.input[i][j], a.out[i][j])
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+func (a *activation) Params() []*Param { return nil }
+
+// NewReLU returns a rectified linear activation layer.
+func NewReLU() Layer {
+	return &activation{
+		fn: func(x float64) float64 {
+			if x < 0 {
+				return 0
+			}
+			return x
+		},
+		deriv: func(x, _ float64) float64 {
+			if x < 0 {
+				return 0
+			}
+			return 1
+		},
+	}
+}
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) Layer {
+	return &activation{
+		fn: func(x float64) float64 {
+			if x < 0 {
+				return alpha * x
+			}
+			return x
+		},
+		deriv: func(x, _ float64) float64 {
+			if x < 0 {
+				return alpha
+			}
+			return 1
+		},
+	}
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() Layer {
+	return &activation{
+		fn:    math.Tanh,
+		deriv: func(_, y float64) float64 { return 1 - y*y },
+	}
+}
+
+// NewSigmoid returns a logistic activation layer.
+func NewSigmoid() Layer {
+	return &activation{
+		fn:    func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		deriv: func(_, y float64) float64 { return y * (1 - y) },
+	}
+}
+
+// Dropout zeroes each unit with probability P during training and scales
+// survivors by 1/(1-P) (inverted dropout). At inference it is the identity.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	mask [][]float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the dropout mask in training mode.
+func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	scale := 1 / (1 - d.P)
+	out := make([][]float64, len(x))
+	d.mask = make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		m := make([]float64, len(row))
+		for j, v := range row {
+			if d.rng.Float64() >= d.P {
+				m[j] = scale
+				o[j] = v * scale
+			}
+		}
+		out[i] = o
+		d.mask[i] = m
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(gradOut [][]float64) [][]float64 {
+	if d.mask == nil {
+		return gradOut
+	}
+	gradIn := make([][]float64, len(gradOut))
+	for i, gRow := range gradOut {
+		gi := make([]float64, len(gRow))
+		for j, g := range gRow {
+			gi[j] = g * d.mask[i][j]
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// GradReverse is the identity in the forward pass and multiplies gradients
+// by -Lambda in the backward pass (Ganin & Lempitsky's gradient reversal,
+// used by the DANN baseline).
+type GradReverse struct {
+	Lambda float64
+}
+
+var _ Layer = (*GradReverse)(nil)
+
+// Forward is the identity.
+func (g *GradReverse) Forward(x [][]float64, _ bool) [][]float64 { return x }
+
+// Backward negates and scales the gradient.
+func (g *GradReverse) Backward(gradOut [][]float64) [][]float64 {
+	out := make([][]float64, len(gradOut))
+	for i, row := range gradOut {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = -g.Lambda * v
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Params returns nil; the layer has no parameters.
+func (g *GradReverse) Params() []*Param { return nil }

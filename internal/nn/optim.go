@@ -1,0 +1,105 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients and clears
+// the gradients afterwards.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param][]float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param][]float64)}
+}
+
+// Step applies one update and zeroes gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if o.Momentum == 0 {
+			for i := range p.Data {
+				p.Data[i] -= o.LR * p.Grad[i]
+			}
+		} else {
+			v, ok := o.velocity[p]
+			if !ok {
+				v = make([]float64, len(p.Data))
+				o.velocity[p] = v
+			}
+			for i := range p.Data {
+				v[i] = o.Momentum*v[i] - o.LR*p.Grad[i]
+				p.Data[i] += v[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer with decoupled weight decay. The paper's GAN
+// uses lr 2e-4 with decay 1e-6 (§V-C3).
+type Adam struct {
+	LR          float64
+	Beta1       float64 // default 0.9
+	Beta2       float64 // default 0.999
+	Eps         float64 // default 1e-8
+	WeightDecay float64
+
+	t    int
+	m, v map[*Param][]float64
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimizer with standard betas.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR:          lr,
+		Beta1:       0.9,
+		Beta2:       0.999,
+		Eps:         1e-8,
+		WeightDecay: weightDecay,
+		m:           make(map[*Param][]float64),
+		v:           make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.Data))
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			o.v[p] = v
+		}
+		for i := range p.Data {
+			g := p.Grad[i]
+			if o.WeightDecay != 0 {
+				g += o.WeightDecay * p.Data[i]
+			}
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.Data[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

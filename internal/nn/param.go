@@ -1,0 +1,40 @@
+// Package nn implements feed-forward neural networks with hand-derived
+// backpropagation: dense layers, batch normalization, dropout, a gradient
+// reversal layer (for adversarial domain adaptation), classification and
+// reconstruction losses, and SGD/Adam optimizers. It is the substrate for
+// the paper's conditional GAN, the TNet/MLP classifiers, the VAE/AE
+// ablation reconstructors, and the DANN/SCL/MatchNet/ProtoNet baselines.
+//
+// Everything is deterministic given the seeds supplied at construction; no
+// package-level mutable state exists.
+package nn
+
+// Param is a flat learnable tensor with its accumulated gradient.
+type Param struct {
+	Name string
+	Data []float64
+	Grad []float64
+}
+
+// NewParam allocates a named parameter of the given size.
+func NewParam(name string, size int) *Param {
+	return &Param{
+		Name: name,
+		Data: make([]float64, size),
+		Grad: make([]float64, size),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// ZeroGrads clears the gradients of all given parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}

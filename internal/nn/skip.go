@@ -1,0 +1,56 @@
+package nn
+
+// SkipConcat wraps an inner layer stack and concatenates the stack's output
+// with the original input: y = [inner(x), x]. A downstream dense layer can
+// then model the direct (e.g. linear) dependence on x while the inner stack
+// captures the nonlinear residual — which dramatically speeds up learning
+// of near-linear reconstruction maps on a small step budget.
+type SkipConcat struct {
+	Inner Layer
+
+	inWidth int
+}
+
+var _ Layer = (*SkipConcat)(nil)
+
+// NewSkipConcat wraps the inner layer (often a *Network).
+func NewSkipConcat(inner Layer) *SkipConcat {
+	return &SkipConcat{Inner: inner}
+}
+
+// Forward computes [inner(x), x] row-wise.
+func (s *SkipConcat) Forward(x [][]float64, train bool) [][]float64 {
+	if len(x) > 0 {
+		s.inWidth = len(x[0])
+	}
+	h := s.Inner.Forward(x, train)
+	return ConcatRows(h, x)
+}
+
+// Backward splits the incoming gradient into the inner-path part and the
+// skip part, and sums the two input gradients.
+func (s *SkipConcat) Backward(gradOut [][]float64) [][]float64 {
+	if len(gradOut) == 0 {
+		return gradOut
+	}
+	hWidth := len(gradOut[0]) - s.inWidth
+	gradH := make([][]float64, len(gradOut))
+	gradSkip := make([][]float64, len(gradOut))
+	for i, row := range gradOut {
+		gradH[i] = row[:hWidth]
+		gradSkip[i] = row[hWidth:]
+	}
+	gradIn := s.Inner.Backward(gradH)
+	out := make([][]float64, len(gradIn))
+	for i := range gradIn {
+		r := make([]float64, s.inWidth)
+		for j := 0; j < s.inWidth; j++ {
+			r[j] = gradIn[i][j] + gradSkip[i][j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Params returns the inner stack's parameters.
+func (s *SkipConcat) Params() []*Param { return s.Inner.Params() }

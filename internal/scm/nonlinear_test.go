@@ -1,0 +1,109 @@
+package scm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdrift/internal/stats"
+)
+
+func TestNonlinearityString(t *testing.T) {
+	tests := []struct {
+		nl   Nonlinearity
+		want string
+	}{
+		{Linear, "linear"},
+		{Tanh, "tanh"},
+		{ReLU, "relu"},
+		{Nonlinearity(99), "Nonlinearity(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.nl.String(); got != tt.want {
+			t.Errorf("String() = %q; want %q", got, tt.want)
+		}
+	}
+}
+
+func TestInterventionKindString(t *testing.T) {
+	tests := []struct {
+		k    InterventionKind
+		want string
+	}{
+		{MeanShift, "mean-shift"},
+		{NoiseScale, "noise-scale"},
+		{MechanismScale, "mechanism-scale"},
+		{InterventionKind(42), "InterventionKind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q; want %q", got, tt.want)
+		}
+	}
+}
+
+func TestTanhNodeBounded(t *testing.T) {
+	// A noiseless tanh node is bounded in (-1, 1) regardless of its input.
+	m := &Model{Nodes: []Node{
+		{NL: Linear, NoiseStd: 3},
+		{Parents: []int{0}, Weights: []float64{5}, NL: Tanh},
+	}}
+	x, err := m.Sample(SampleConfig{N: 500, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// math.Tanh saturates to exactly ±1.0 in float64 for large inputs, so
+	// the bound is closed.
+	for _, row := range x {
+		if math.Abs(row[1]) > 1 {
+			t.Fatalf("tanh output %v out of [-1,1]", row[1])
+		}
+	}
+}
+
+func TestReLUNodeNonNegative(t *testing.T) {
+	m := &Model{Nodes: []Node{
+		{NL: Linear, NoiseStd: 2},
+		{Parents: []int{0}, Weights: []float64{1}, NL: ReLU},
+	}}
+	x, err := m.Sample(SampleConfig{N: 500, Rng: rand.New(rand.NewSource(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeros int
+	for _, row := range x {
+		if row[1] < 0 {
+			t.Fatalf("relu output %v negative", row[1])
+		}
+		if row[1] == 0 {
+			zeros++
+		}
+	}
+	// Roughly half the inputs are negative, so ReLU should clamp many.
+	if zeros < 100 {
+		t.Errorf("only %d clamped values of 500; ReLU not active", zeros)
+	}
+}
+
+func TestCombinedInterventionsCompose(t *testing.T) {
+	// MeanShift and NoiseScale on the same target compose.
+	m := &Model{Nodes: []Node{{NL: Linear, NoiseStd: 1}}}
+	ivs := []Intervention{
+		{Target: 0, Kind: MeanShift, Amount: 5},
+		{Target: 0, Kind: NoiseScale, Amount: 2},
+	}
+	x, err := m.Sample(SampleConfig{N: 5000, Interventions: ivs, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]float64, len(x))
+	for i := range x {
+		col[i] = x[i][0]
+	}
+	if m := stats.Mean(col); math.Abs(m-5) > 0.15 {
+		t.Errorf("mean = %v; want ~5", m)
+	}
+	if v := stats.Variance(col); math.Abs(v-4) > 0.5 {
+		t.Errorf("variance = %v; want ~4", v)
+	}
+}

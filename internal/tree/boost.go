@@ -1,0 +1,348 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BoostConfig configures gradient-boosted trees.
+type BoostConfig struct {
+	Rounds       int     // boosting rounds; default 60
+	MaxDepth     int     // default 4
+	LearningRate float64 // shrinkage; default 0.2
+	Lambda       float64 // L2 leaf regularization; default 1
+	Subsample    float64 // row subsampling per round; default 0.8
+	ColSample    float64 // column subsampling per tree; default 0.5
+	MinChildHess float64 // minimum hessian per child; default 1
+	Seed         int64
+}
+
+func (c *BoostConfig) applyDefaults() {
+	if c.Rounds == 0 {
+		c.Rounds = 60
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.2
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 0.8
+	}
+	if c.ColSample == 0 {
+		c.ColSample = 0.5
+	}
+	if c.MinChildHess == 0 {
+		c.MinChildHess = 1
+	}
+}
+
+// GradientBoosting is a second-order boosted-tree classifier with a softmax
+// objective (one regression tree per class per round), in the style of
+// XGBoost.
+type GradientBoosting struct {
+	trees      [][]*regressionTree // [round][class]
+	lr         float64
+	numClasses int
+}
+
+// FitGradientBoosting trains the boosted ensemble.
+func FitGradientBoosting(x [][]float64, y []int, numClasses int, cfg BoostConfig) (*GradientBoosting, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("tree: %d rows, %d labels", len(x), len(y))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("tree: numClasses %d must be >= 2", numClasses)
+	}
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	n := len(x)
+	gb := &GradientBoosting{lr: cfg.LearningRate, numClasses: numClasses}
+	// Raw scores per sample per class.
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = make([]float64, numClasses)
+	}
+	probs := make([]float64, numClasses)
+	grads := make([][]float64, numClasses)
+	hess := make([][]float64, numClasses)
+	for c := range grads {
+		grads[c] = make([]float64, n)
+		hess[c] = make([]float64, n)
+	}
+
+	// Presort every feature once; each tree's split search scans these
+	// orders with a node-membership filter instead of re-sorting per node.
+	presorted := presortColumns(x)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// Softmax gradients/hessians.
+		for i := 0; i < n; i++ {
+			maxV := scores[i][0]
+			for _, v := range scores[i][1:] {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for c := 0; c < numClasses; c++ {
+				probs[c] = math.Exp(scores[i][c] - maxV)
+				sum += probs[c]
+			}
+			for c := 0; c < numClasses; c++ {
+				p := probs[c] / sum
+				g := p
+				if y[i] == c {
+					g -= 1
+				}
+				grads[c][i] = g
+				hess[c][i] = math.Max(p*(1-p), 1e-6)
+			}
+		}
+		// Row subsample shared by the round.
+		rows := subsampleRows(n, cfg.Subsample, rng)
+		roundTrees := make([]*regressionTree, numClasses)
+		for c := 0; c < numClasses; c++ {
+			rt := fitRegressionTree(x, presorted, grads[c], hess[c], rows, regTreeConfig{
+				maxDepth:     cfg.MaxDepth,
+				lambda:       cfg.Lambda,
+				colSample:    cfg.ColSample,
+				minChildHess: cfg.MinChildHess,
+				rng:          rand.New(rand.NewSource(rng.Int63())),
+			})
+			roundTrees[c] = rt
+			for i := 0; i < n; i++ {
+				scores[i][c] += cfg.LearningRate * rt.predict(x[i])
+			}
+		}
+		gb.trees = append(gb.trees, roundTrees)
+	}
+	return gb, nil
+}
+
+func subsampleRows(n int, frac float64, rng *rand.Rand) []int {
+	if frac >= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	return rng.Perm(n)[:k]
+}
+
+// PredictProba returns softmax probabilities of the boosted scores.
+func (gb *GradientBoosting) PredictProba(x [][]float64) ([][]float64, error) {
+	if len(gb.trees) == 0 {
+		return nil, ErrNotTrained
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		scores := make([]float64, gb.numClasses)
+		for _, roundTrees := range gb.trees {
+			for c, rt := range roundTrees {
+				scores[c] += gb.lr * rt.predict(row)
+			}
+		}
+		maxV := scores[0]
+		for _, v := range scores[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		p := make([]float64, gb.numClasses)
+		for c, v := range scores {
+			p[c] = math.Exp(v - maxV)
+			sum += p[c]
+		}
+		for c := range p {
+			p[c] /= sum
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// NumRounds reports the number of boosting rounds trained.
+func (gb *GradientBoosting) NumRounds() int { return len(gb.trees) }
+
+// regressionTree is a second-order regression tree on (grad, hess) pairs.
+type regressionTree struct {
+	nodes []node
+}
+
+type regTreeConfig struct {
+	maxDepth     int
+	lambda       float64
+	colSample    float64
+	minChildHess float64
+	rng          *rand.Rand
+}
+
+// presortColumns returns, for each feature, the row indices ordered by that
+// feature's value.
+func presortColumns(x [][]float64) [][]int32 {
+	n := len(x)
+	d := len(x[0])
+	out := make([][]int32, d)
+	for f := 0; f < d; f++ {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		col := make([]float64, n)
+		for i := range x {
+			col[i] = x[i][f]
+		}
+		sort.Slice(idx, func(a, b int) bool { return col[idx[a]] < col[idx[b]] })
+		out[f] = idx
+	}
+	return out
+}
+
+func fitRegressionTree(x [][]float64, presorted [][]int32, grad, hess []float64, rows []int, cfg regTreeConfig) *regressionTree {
+	t := &regressionTree{}
+	d := len(x[0])
+	nCols := int(float64(d) * cfg.colSample)
+	if nCols < 1 {
+		nCols = 1
+	}
+	cols := cfg.rng.Perm(d)[:nCols]
+	b := &regBuilder{
+		x: x, presorted: presorted, grad: grad, hess: hess,
+		cfg: cfg, cols: cols, tree: t,
+		inNode: make([]bool, len(x)),
+	}
+	b.build(rows, 0)
+	return t
+}
+
+type regBuilder struct {
+	x          [][]float64
+	presorted  [][]int32
+	grad, hess []float64
+	cfg        regTreeConfig
+	cols       []int
+	tree       *regressionTree
+	inNode     []bool // scratch membership mask, maintained around build calls
+}
+
+func (b *regBuilder) build(idx []int, depth int) int {
+	var sumG, sumH float64
+	for _, i := range idx {
+		sumG += b.grad[i]
+		sumH += b.hess[i]
+	}
+	if depth >= b.cfg.maxDepth || len(idx) < 2 {
+		return b.leaf(sumG, sumH)
+	}
+	feat, thresh, ok := b.bestSplit(idx, sumG, sumH)
+	if !ok {
+		return b.leaf(sumG, sumH)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return b.leaf(sumG, sumH)
+	}
+	me := len(b.tree.nodes)
+	b.tree.nodes = append(b.tree.nodes, node{feature: feat, thresh: thresh})
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.tree.nodes[me].left = l
+	b.tree.nodes[me].right = r
+	return me
+}
+
+func (b *regBuilder) leaf(sumG, sumH float64) int {
+	v := -sumG / (sumH + b.cfg.lambda)
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1, value: v})
+	return len(b.tree.nodes) - 1
+}
+
+// bestSplit maximizes the XGBoost structure gain, scanning each feature's
+// globally presorted order filtered to this node's rows.
+func (b *regBuilder) bestSplit(idx []int, sumG, sumH float64) (int, float64, bool) {
+	lambda := b.cfg.lambda
+	parent := sumG * sumG / (sumH + lambda)
+	bestGain := 1e-9
+	bestFeat, bestThresh := -1, 0.0
+	nNode := len(idx)
+
+	for _, i := range idx {
+		b.inNode[i] = true
+	}
+	defer func() {
+		for _, i := range idx {
+			b.inNode[i] = false
+		}
+	}()
+
+	for _, f := range b.cols {
+		order := b.presorted[f]
+		var gl, hl float64
+		seen := 0
+		prev := -1 // previous in-node row in sorted order
+		for _, ri32 := range order {
+			i := int(ri32)
+			if !b.inNode[i] {
+				continue
+			}
+			if prev >= 0 {
+				// Candidate cut between prev and i.
+				v, next := b.x[prev][f], b.x[i][f]
+				if v != next && hl >= b.cfg.minChildHess && sumH-hl >= b.cfg.minChildHess {
+					gr := sumG - gl
+					hr := sumH - hl
+					gain := gl*gl/(hl+lambda) + gr*gr/(hr+lambda) - parent
+					if gain > bestGain {
+						bestGain = gain
+						bestFeat = f
+						bestThresh = (v + next) / 2
+					}
+				}
+			}
+			gl += b.grad[i]
+			hl += b.hess[i]
+			prev = i
+			seen++
+			if seen == nNode {
+				break
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+func (t *regressionTree) predict(row []float64) float64 {
+	cur := 0
+	for {
+		nd := &t.nodes[cur]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if row[nd.feature] <= nd.thresh {
+			cur = nd.left
+		} else {
+			cur = nd.right
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package tree implements decision-tree learners: CART classification
+// trees, bootstrap-aggregated random forests, and second-order gradient-
+// boosted trees (an XGBoost-style learner). These provide the RF and XGB
+// classifier families used in the paper's Table I.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrNotTrained is returned when predicting with an unfitted model.
+var ErrNotTrained = errors.New("tree: model not trained")
+
+// node is one tree node (internal or leaf) in a flattened tree.
+type node struct {
+	feature int     // split feature; -1 for leaf
+	thresh  float64 // split threshold (go left when value <= thresh)
+	left    int     // child indices into the node slice
+	right   int
+	dist    []float64 // leaf class distribution (classification)
+	value   float64   // leaf value (regression)
+}
+
+// ClassTreeConfig configures a CART classification tree.
+type ClassTreeConfig struct {
+	MaxDepth    int // default 12
+	MinLeaf     int // minimum samples per leaf; default 1
+	MaxFeatures int // features sampled per split; default all
+	Rng         *rand.Rand
+}
+
+// ClassificationTree is a CART tree with gini splitting.
+type ClassificationTree struct {
+	nodes      []node
+	numClasses int
+}
+
+// FitClassificationTree builds a tree on the given rows.
+func FitClassificationTree(x [][]float64, y []int, numClasses int, cfg ClassTreeConfig) (*ClassificationTree, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("tree: %d rows, %d labels", len(x), len(y))
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("tree: numClasses %d must be >= 2", numClasses)
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinLeaf == 0 {
+		cfg.MinLeaf = 1
+	}
+	d := len(x[0])
+	if cfg.MaxFeatures <= 0 || cfg.MaxFeatures > d {
+		cfg.MaxFeatures = d
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(0))
+	}
+	t := &ClassificationTree{numClasses: numClasses}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &classBuilder{x: x, y: y, k: numClasses, cfg: cfg, tree: t}
+	b.build(idx, 0)
+	return t, nil
+}
+
+type classBuilder struct {
+	x    [][]float64
+	y    []int
+	k    int
+	cfg  ClassTreeConfig
+	tree *ClassificationTree
+}
+
+// build grows the subtree for idx and returns its node index.
+func (b *classBuilder) build(idx []int, depth int) int {
+	counts := make([]float64, b.k)
+	for _, i := range idx {
+		counts[b.y[i]]++
+	}
+	pure := 0
+	for _, c := range counts {
+		if c > 0 {
+			pure++
+		}
+	}
+	if depth >= b.cfg.MaxDepth || pure <= 1 || len(idx) < 2*b.cfg.MinLeaf {
+		return b.leaf(counts, len(idx))
+	}
+	feat, thresh, ok := b.bestSplit(idx, counts)
+	if !ok {
+		return b.leaf(counts, len(idx))
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return b.leaf(counts, len(idx))
+	}
+	me := len(b.tree.nodes)
+	b.tree.nodes = append(b.tree.nodes, node{feature: feat, thresh: thresh})
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.tree.nodes[me].left = l
+	b.tree.nodes[me].right = r
+	return me
+}
+
+func (b *classBuilder) leaf(counts []float64, n int) int {
+	dist := make([]float64, b.k)
+	if n > 0 {
+		for c := range counts {
+			dist[c] = counts[c] / float64(n)
+		}
+	}
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1, dist: dist})
+	return len(b.tree.nodes) - 1
+}
+
+// bestSplit scans a random feature subset for the gini-optimal threshold.
+func (b *classBuilder) bestSplit(idx []int, counts []float64) (int, float64, bool) {
+	n := float64(len(idx))
+	parentImp := giniImpurity(counts, n)
+	bestGain := 1e-12
+	bestFeat, bestThresh := -1, 0.0
+
+	d := len(b.x[0])
+	feats := b.cfg.Rng.Perm(d)[:b.cfg.MaxFeatures]
+	sorted := make([]int, len(idx))
+	leftCounts := make([]float64, b.k)
+	for _, f := range feats {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, c int) bool { return b.x[sorted[a]][f] < b.x[sorted[c]][f] })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+		}
+		var nl float64
+		for pos := 0; pos < len(sorted)-1; pos++ {
+			i := sorted[pos]
+			leftCounts[b.y[i]]++
+			nl++
+			v, next := b.x[i][f], b.x[sorted[pos+1]][f]
+			if v == next {
+				continue
+			}
+			if int(nl) < b.cfg.MinLeaf || len(sorted)-int(nl) < b.cfg.MinLeaf {
+				continue
+			}
+			nr := n - nl
+			var impL, impR float64
+			impL = giniImpurityLeft(leftCounts, nl)
+			impR = giniImpurityRight(counts, leftCounts, nr)
+			gain := parentImp - (nl/n)*impL - (nr/n)*impR
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (v + next) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+func giniImpurity(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	imp := 1.0
+	for _, c := range counts {
+		p := c / n
+		imp -= p * p
+	}
+	return imp
+}
+
+func giniImpurityLeft(left []float64, nl float64) float64 {
+	return giniImpurity(left, nl)
+}
+
+func giniImpurityRight(total, left []float64, nr float64) float64 {
+	if nr == 0 {
+		return 0
+	}
+	imp := 1.0
+	for c := range total {
+		p := (total[c] - left[c]) / nr
+		imp -= p * p
+	}
+	return imp
+}
+
+// PredictProba returns the class distribution for each row.
+func (t *ClassificationTree) PredictProba(x [][]float64) ([][]float64, error) {
+	if len(t.nodes) == 0 {
+		return nil, ErrNotTrained
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = append([]float64(nil), t.traverse(row).dist...)
+	}
+	return out, nil
+}
+
+func (t *ClassificationTree) traverse(row []float64) *node {
+	cur := 0
+	for {
+		nd := &t.nodes[cur]
+		if nd.feature < 0 {
+			return nd
+		}
+		if row[nd.feature] <= nd.thresh {
+			cur = nd.left
+		} else {
+			cur = nd.right
+		}
+	}
+}
+
+// NumNodes reports the tree size (useful in tests and benchmarks).
+func (t *ClassificationTree) NumNodes() int { return len(t.nodes) }

@@ -1,0 +1,97 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ForestConfig configures a random forest classifier.
+type ForestConfig struct {
+	NumTrees    int // default 100
+	MaxDepth    int // default 16
+	MinLeaf     int // default 1
+	MaxFeatures int // default sqrt(d)
+	Seed        int64
+}
+
+// RandomForest is a bagged ensemble of CART trees.
+type RandomForest struct {
+	trees      []*ClassificationTree
+	numClasses int
+}
+
+// FitRandomForest trains the ensemble on bootstrap resamples.
+func FitRandomForest(x [][]float64, y []int, numClasses int, cfg ForestConfig) (*RandomForest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("tree: %d rows, %d labels", len(x), len(y))
+	}
+	if cfg.NumTrees == 0 {
+		cfg.NumTrees = 100
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 16
+	}
+	if cfg.MinLeaf == 0 {
+		cfg.MinLeaf = 1
+	}
+	d := len(x[0])
+	if cfg.MaxFeatures == 0 {
+		cfg.MaxFeatures = int(math.Sqrt(float64(d))) + 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rf := &RandomForest{numClasses: numClasses}
+	n := len(x)
+	for t := 0; t < cfg.NumTrees; t++ {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tr, err := FitClassificationTree(bx, by, numClasses, ClassTreeConfig{
+			MaxDepth:    cfg.MaxDepth,
+			MinLeaf:     cfg.MinLeaf,
+			MaxFeatures: cfg.MaxFeatures,
+			Rng:         rand.New(rand.NewSource(rng.Int63())),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tree %d: %w", t, err)
+		}
+		rf.trees = append(rf.trees, tr)
+	}
+	return rf, nil
+}
+
+// PredictProba averages the member trees' leaf distributions.
+func (rf *RandomForest) PredictProba(x [][]float64) ([][]float64, error) {
+	if len(rf.trees) == 0 {
+		return nil, ErrNotTrained
+	}
+	out := make([][]float64, len(x))
+	for i := range out {
+		out[i] = make([]float64, rf.numClasses)
+	}
+	for _, t := range rf.trees {
+		p, err := t.PredictProba(x)
+		if err != nil {
+			return nil, err
+		}
+		for i := range p {
+			for c, v := range p[i] {
+				out[i][c] += v
+			}
+		}
+	}
+	inv := 1 / float64(len(rf.trees))
+	for i := range out {
+		for c := range out[i] {
+			out[i][c] *= inv
+		}
+	}
+	return out, nil
+}
+
+// NumTrees reports the ensemble size.
+func (rf *RandomForest) NumTrees() int { return len(rf.trees) }

@@ -1,0 +1,253 @@
+package tree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gaussBlobs builds a simple k-class problem with well separated Gaussian
+// clusters in d dimensions.
+func gaussBlobs(n, d, k int, sep float64, rng *rand.Rand) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		row[c%d] += sep
+		x[i] = row
+		y[i] = c
+	}
+	return x, y
+}
+
+func accuracy(probs [][]float64, y []int) float64 {
+	var correct int
+	for i, p := range probs {
+		best := 0
+		for c, v := range p {
+			if v > p[best] {
+				best = c
+			}
+		}
+		if best == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+func TestClassificationTreeSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := gaussBlobs(400, 5, 3, 6, rng)
+	tr, err := FitClassificationTree(x, y, 3, ClassTreeConfig{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := tr.PredictProba(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(probs, y); acc < 0.97 {
+		t.Errorf("train accuracy = %v; want >= 0.97", acc)
+	}
+	if tr.NumNodes() == 0 {
+		t.Error("tree has no nodes")
+	}
+}
+
+func TestClassificationTreeGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := gaussBlobs(600, 4, 2, 5, rng)
+	xTest, yTest := gaussBlobs(200, 4, 2, 5, rng)
+	tr, err := FitClassificationTree(x, y, 2, ClassTreeConfig{MaxDepth: 6, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := tr.PredictProba(xTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(probs, yTest); acc < 0.9 {
+		t.Errorf("test accuracy = %v; want >= 0.9", acc)
+	}
+}
+
+func TestClassificationTreeErrors(t *testing.T) {
+	if _, err := FitClassificationTree(nil, nil, 2, ClassTreeConfig{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := FitClassificationTree([][]float64{{1}}, []int{0}, 1, ClassTreeConfig{}); err == nil {
+		t.Error("expected error for single class")
+	}
+	var empty ClassificationTree
+	if _, err := empty.PredictProba([][]float64{{1}}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v; want ErrNotTrained", err)
+	}
+}
+
+func TestTreeProbabilitiesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, y := gaussBlobs(100, 3, 3, 2, rng)
+		tr, err := FitClassificationTree(x, y, 3, ClassTreeConfig{MaxDepth: 5, Rng: rng})
+		if err != nil {
+			return false
+		}
+		probs, err := tr.PredictProba(x[:20])
+		if err != nil {
+			return false
+		}
+		for _, p := range probs {
+			var s float64
+			for _, v := range p {
+				if v < 0 {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := gaussBlobs(500, 6, 4, 4, rng)
+	xTest, yTest := gaussBlobs(200, 6, 4, 4, rng)
+	rf, err := FitRandomForest(x, y, 4, ForestConfig{NumTrees: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.NumTrees() != 30 {
+		t.Errorf("NumTrees = %d; want 30", rf.NumTrees())
+	}
+	probs, err := rf.PredictProba(xTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(probs, yTest); acc < 0.92 {
+		t.Errorf("forest test accuracy = %v; want >= 0.92", acc)
+	}
+	// Probabilities normalized.
+	for _, p := range probs[:5] {
+		var s float64
+		for _, v := range p {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("probs sum to %v", s)
+		}
+	}
+}
+
+func TestRandomForestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := gaussBlobs(200, 4, 2, 4, rng)
+	a, err := FitRandomForest(x, y, 2, ForestConfig{NumTrees: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitRandomForest(x, y, 2, ForestConfig{NumTrees: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.PredictProba(x[:10])
+	pb, _ := b.PredictProba(x[:10])
+	for i := range pa {
+		for c := range pa[i] {
+			if pa[i][c] != pb[i][c] {
+				t.Fatal("same seed must produce identical forests")
+			}
+		}
+	}
+}
+
+func TestRandomForestErrors(t *testing.T) {
+	if _, err := FitRandomForest(nil, nil, 2, ForestConfig{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+	var rf RandomForest
+	if _, err := rf.PredictProba([][]float64{{1}}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v; want ErrNotTrained", err)
+	}
+}
+
+func TestGradientBoosting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := gaussBlobs(500, 6, 4, 4, rng)
+	xTest, yTest := gaussBlobs(200, 6, 4, 4, rng)
+	gb, err := FitGradientBoosting(x, y, 4, BoostConfig{Rounds: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.NumRounds() != 30 {
+		t.Errorf("NumRounds = %d; want 30", gb.NumRounds())
+	}
+	probs, err := gb.PredictProba(xTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(probs, yTest); acc < 0.92 {
+		t.Errorf("boosting test accuracy = %v; want >= 0.92", acc)
+	}
+}
+
+func TestGradientBoostingBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := gaussBlobs(400, 4, 2, 4, rng)
+	gb, err := FitGradientBoosting(x, y, 2, BoostConfig{Rounds: 20, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := gb.PredictProba(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(probs, y); acc < 0.95 {
+		t.Errorf("binary train accuracy = %v; want >= 0.95", acc)
+	}
+}
+
+func TestGradientBoostingErrors(t *testing.T) {
+	if _, err := FitGradientBoosting(nil, nil, 2, BoostConfig{}); err == nil {
+		t.Error("expected error for empty data")
+	}
+	if _, err := FitGradientBoosting([][]float64{{1}}, []int{0}, 1, BoostConfig{}); err == nil {
+		t.Error("expected error for single class")
+	}
+	var gb GradientBoosting
+	if _, err := gb.PredictProba([][]float64{{1}}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v; want ErrNotTrained", err)
+	}
+}
+
+func TestGradientBoostingImprovesWithRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := gaussBlobs(400, 5, 3, 2.5, rng)
+	short, err := FitGradientBoosting(x, y, 3, BoostConfig{Rounds: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := FitGradientBoosting(x, y, 3, BoostConfig{Rounds: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := short.PredictProba(x)
+	pl, _ := long.PredictProba(x)
+	if accuracy(pl, y) <= accuracy(ps, y) {
+		t.Errorf("more rounds should improve train accuracy: %v vs %v",
+			accuracy(pl, y), accuracy(ps, y))
+	}
+}

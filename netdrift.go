@@ -1,0 +1,144 @@
+// Package netdrift is a Go implementation of few-shot domain adaptation
+// for data-drift mitigation in network management (Johari et al., ICDCS
+// 2025): causal-inference-based feature separation (FS) plus conditional-
+// GAN reconstruction of domain-variant features (FS+GAN).
+//
+// Network-management classifiers are trained exclusively on source-domain
+// telemetry; when the operational domain drifts, only the lightweight
+// Adapter front end is refitted from a handful of labelled target samples —
+// the deployed models never need retraining.
+//
+// Basic use:
+//
+//	adapter := netdrift.NewAdapter(netdrift.AdapterConfig{
+//	    Mode:  netdrift.ModeFSRecon,
+//	    Recon: netdrift.ReconGAN,
+//	})
+//	if err := adapter.Fit(source, fewShotTarget); err != nil { ... }
+//	train, _ := adapter.TrainingData(source) // train your model on this
+//	aligned, _ := adapter.TransformTarget(testRows)
+//	// feed `aligned` to the source-trained model
+//
+// The heavy lifting lives in the internal packages: internal/core (the
+// method), internal/causal (CI tests and the F-node search), internal/nn,
+// internal/tree (model substrates), internal/dataset (synthetic 5G
+// datasets), internal/baselines (the 11 compared approaches), and
+// internal/experiments (the paper's tables). This package re-exports the
+// user-facing surface.
+package netdrift
+
+import (
+	"io"
+
+	"netdrift/internal/causal"
+	"netdrift/internal/core"
+	"netdrift/internal/dataset"
+	"netdrift/internal/metrics"
+	"netdrift/internal/models"
+	"netdrift/internal/monitor"
+)
+
+// Core pipeline types (see internal/core).
+type (
+	// Adapter is the FS / FS+GAN domain-adaptation pipeline.
+	Adapter = core.Adapter
+	// AdapterConfig assembles the pipeline.
+	AdapterConfig = core.AdapterConfig
+	// Mode selects FS-only or FS+reconstruction operation.
+	Mode = core.Mode
+	// ReconKind selects the reconstruction strategy.
+	ReconKind = core.ReconKind
+	// GANConfig tunes the conditional GAN reconstructor.
+	GANConfig = core.GANConfig
+	// VAEConfig tunes the VAE/autoencoder ablation reconstructors.
+	VAEConfig = core.VAEConfig
+	// FeatureSeparator runs the FS causal feature separation alone.
+	FeatureSeparator = core.FeatureSeparator
+	// FNodeConfig tunes the conditional-independence search.
+	FNodeConfig = causal.FNodeConfig
+)
+
+// Adapter modes and reconstruction strategies.
+const (
+	ModeFS         = core.ModeFS
+	ModeFSRecon    = core.ModeFSRecon
+	ReconGAN       = core.ReconGAN
+	ReconGANNoCond = core.ReconGANNoCond
+	ReconVAE       = core.ReconVAE
+	ReconVanillaAE = core.ReconVanillaAE
+)
+
+// Data and model types.
+type (
+	// Dataset is the tabular telemetry container used across the library.
+	Dataset = dataset.Dataset
+	// Classifier is the model-agnostic classifier interface (TNet, MLP,
+	// random forest, gradient-boosted trees).
+	Classifier = models.Classifier
+	// ClassifierKind identifies a classifier family.
+	ClassifierKind = models.Kind
+	// ClassifierOptions tunes classifier capacity.
+	ClassifierOptions = models.Options
+)
+
+// Classifier families.
+const (
+	TNet = models.KindTNet
+	MLP  = models.KindMLP
+	RF   = models.KindRF
+	XGB  = models.KindXGB
+)
+
+// NewAdapter builds an unfitted FS / FS+GAN adapter.
+func NewAdapter(cfg AdapterConfig) *Adapter { return core.NewAdapter(cfg) }
+
+// NewFeatureSeparator builds the FS stage alone.
+func NewFeatureSeparator(cfg FNodeConfig) *FeatureSeparator {
+	return core.NewFeatureSeparator(cfg)
+}
+
+// NewClassifier constructs one of the four classifier families.
+func NewClassifier(kind ClassifierKind, opts ClassifierOptions) (Classifier, error) {
+	return models.New(kind, opts)
+}
+
+// PredictClasses runs a classifier and returns argmax labels.
+func PredictClasses(c Classifier, x [][]float64) ([]int, error) {
+	return models.PredictClasses(c, x)
+}
+
+// MacroF1 scores predictions with the paper's metric (scaled to [0, 100]).
+func MacroF1(yTrue, yPred []int, numClasses int) (float64, error) {
+	return metrics.MacroF1Score(yTrue, yPred, numClasses)
+}
+
+// Synthetic5GC generates the synthetic stand-in for the paper's 5GC
+// failure-classification dataset.
+func Synthetic5GC(cfg dataset.FiveGCConfig) (*dataset.Drifted, error) {
+	return dataset.Synthetic5GC(cfg)
+}
+
+// Synthetic5GIPC generates the synthetic stand-in for the paper's 5GIPC
+// fault-detection dataset.
+func Synthetic5GIPC(cfg dataset.FiveGIPCConfig) (*dataset.DriftedMulti, error) {
+	return dataset.Synthetic5GIPC(cfg)
+}
+
+// Drift-monitoring types (see internal/monitor): the trigger for
+// refreshing the adapter when the network drifts again.
+type (
+	// DriftDetector compares telemetry windows against the source domain.
+	DriftDetector = monitor.Detector
+	// DriftConfig tunes the detector.
+	DriftConfig = monitor.Config
+	// DriftReport is one window's drift verdict.
+	DriftReport = monitor.Report
+)
+
+// NewDriftDetector creates an unfitted drift detector.
+func NewDriftDetector(cfg DriftConfig) *DriftDetector { return monitor.New(cfg) }
+
+// LoadAdapter restores an adapter saved with (*Adapter).Save — the fitted
+// scaler, the variant/invariant split, and the trained generator weights —
+// so the inference path can be deployed without refitting.
+func LoadAdapter(r io.Reader) (*Adapter, error) { return core.LoadAdapter(r) }

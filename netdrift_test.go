@@ -1,0 +1,107 @@
+package netdrift_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdrift"
+	"netdrift/internal/dataset"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface the way the README
+// quickstart does: generate a drifted problem, adapt, train, align, score.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	d, err := netdrift.Synthetic5GIPC(dataset.FiveGIPCConfig{
+		Seed:         21,
+		SourceNormal: 300, SourceFaults: [4]int{20, 30, 60, 50},
+		TargetNormal: 150, TargetFaults: [4]int{10, 15, 25, 25},
+		TargetTrainPerGroup: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	support, _, err := d.Targets[0].Train.FewShot(5, true, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adapter := netdrift.NewAdapter(netdrift.AdapterConfig{
+		Mode:  netdrift.ModeFSRecon,
+		Recon: netdrift.ReconGAN,
+		GAN:   netdrift.GANConfig{Epochs: 8},
+		Seed:  23,
+	})
+	if err := adapter.Fit(d.Source, support); err != nil {
+		t.Fatal(err)
+	}
+	if len(adapter.VariantFeatures()) == 0 {
+		t.Fatal("no variant features identified on a drifted problem")
+	}
+
+	train, err := adapter.TrainingData(d.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := netdrift.NewClassifier(netdrift.MLP, netdrift.ClassifierOptions{Seed: 23, Epochs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clf.Fit(train.X, train.Y, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	aligned, err := adapter.TransformTarget(d.Targets[0].Test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := netdrift.PredictClasses(clf, aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := netdrift.MacroF1(d.Targets[0].Test.Y, pred, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 < 40 {
+		t.Errorf("adapted F1 = %.1f; implausibly low for the quick setting", f1)
+	}
+	t.Logf("public-API end-to-end: F1 = %.1f, %d variant features",
+		f1, len(adapter.VariantFeatures()))
+}
+
+// TestPublicAPIFeatureSeparatorAlone checks the FS-only entry point.
+func TestPublicAPIFeatureSeparatorAlone(t *testing.T) {
+	d, err := netdrift.Synthetic5GC(dataset.FiveGCConfig{
+		Seed: 31, SourceSamples: 320, TargetTrainPool: 96, TargetTestSamples: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := netdrift.NewFeatureSeparator(netdrift.FNodeConfig{})
+	if err := sep.Fit(d.Source.X, d.TargetTrain.X); err != nil {
+		t.Fatal(err)
+	}
+	variant := sep.Variant()
+	if len(variant) == 0 {
+		t.Fatal("FS found nothing on a drifted problem")
+	}
+	truth := make(map[int]bool, len(d.TrueVariant))
+	for _, v := range d.TrueVariant {
+		truth[v] = true
+	}
+	var tp int
+	for _, v := range variant {
+		if truth[v] {
+			tp++
+		}
+	}
+	if precision := float64(tp) / float64(len(variant)); precision < 0.8 {
+		t.Errorf("FS precision = %.2f against ground truth; want >= 0.8", precision)
+	}
+	// All classifier kind constants resolve through the factory.
+	for _, kind := range []netdrift.ClassifierKind{netdrift.TNet, netdrift.MLP, netdrift.RF, netdrift.XGB} {
+		if _, err := netdrift.NewClassifier(kind, netdrift.ClassifierOptions{}); err != nil {
+			t.Errorf("NewClassifier(%v): %v", kind, err)
+		}
+	}
+}
