@@ -84,6 +84,11 @@ func run() error {
 		}
 		fmt.Printf("%-32s drifted=%-5v features=%2d maxPSI=%.2f\n",
 			w.name, rep.Drifted, len(rep.DriftedFeatures), rep.MaxPSI)
+		// Per-feature attribution: which columns pushed the verdict over.
+		for _, f := range rep.TopOffenders(3) {
+			fmt.Printf("    feature %2d: KS=%.3f (p=%.2g) PSI=%.2f\n",
+				f.Index, f.KSStat, f.KSP, f.PSI)
+		}
 		if rep.Drifted && adapter == nil {
 			fmt.Println("  -> drift confirmed: collecting 5 labelled samples per fault type, refitting FS+GAN")
 			support, _, err := d.Targets[0].Train.FewShot(5, true, rand.New(rand.NewSource(20)))

@@ -3,6 +3,8 @@ package causal
 import (
 	"fmt"
 	"sort"
+
+	"netdrift/internal/obs"
 )
 
 // FNodeConfig tunes the F-node variant-feature search.
@@ -27,6 +29,9 @@ type FNodeConfig struct {
 	// MarginalOnly skips the conditioning stage entirely — the behaviour of
 	// weaker invariance baselines such as ICD in our setting.
 	MarginalOnly bool
+	// Obs, when non-nil, receives one event per CI test (with its
+	// conditioning-set size) and one verdict per feature. Never serialized.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c *FNodeConfig) applyDefaults() {
@@ -52,6 +57,9 @@ type FNodeResult struct {
 	Invariant []int
 	// MarginalP holds each feature's marginal p-value against the F-node.
 	MarginalP []float64
+	// Tests counts every CI test the search ran (marginal + conditional) —
+	// the paper's running-time driver (§VI-D).
+	Tests int
 }
 
 // FindVariantFeatures pools source (F=0) and target (F=1) samples, appends
@@ -94,6 +102,7 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 	}
 	fNode := d
 
+	cfg.Obs.Counter(obs.MetricFSSearches).Inc()
 	res := &FNodeResult{MarginalP: make([]float64, d)}
 	var candidates []int
 	for x := 0; x < d; x++ {
@@ -101,11 +110,14 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 		if err != nil {
 			return nil, fmt.Errorf("causal: marginal test feature %d: %w", x, err)
 		}
+		res.Tests++
+		cfg.Obs.OnCITest(obs.CITest{X: x, Y: fNode, CondSize: 0, P: p})
 		res.MarginalP[x] = p
 		if p < cfg.Alpha {
 			candidates = append(candidates, x)
 		} else {
 			res.Invariant = append(res.Invariant, x)
+			cfg.Obs.OnVerdict(obs.FeatureVerdict{Feature: x, Variant: false, MarginalP: p})
 		}
 	}
 
@@ -118,6 +130,8 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 				if err != nil {
 					return nil, fmt.Errorf("causal: conditional test feature %d: %w", x, err)
 				}
+				res.Tests++
+				cfg.Obs.OnCITest(obs.CITest{X: x, Y: fNode, CondSize: len(cond), P: p})
 				if p >= cfg.ExonerationAlpha {
 					exonerated = true
 					break
@@ -129,6 +143,9 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 		} else {
 			res.Variant = append(res.Variant, x)
 		}
+		cfg.Obs.OnVerdict(obs.FeatureVerdict{
+			Feature: x, Variant: !exonerated, Exonerated: exonerated, MarginalP: res.MarginalP[x],
+		})
 	}
 	sort.Ints(res.Variant)
 	sort.Ints(res.Invariant)

@@ -3,9 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"strconv"
 
 	"netdrift/internal/causal"
 	"netdrift/internal/dataset"
+	"netdrift/internal/obs"
 )
 
 // Mode selects between the two variants evaluated in the paper.
@@ -42,6 +45,13 @@ type AdapterConfig struct {
 	GAN   GANConfig          // GAN/NoCond settings
 	VAE   VAEConfig          // VAE/VanillaAE settings
 	Seed  int64
+	// Obs, when non-nil, instruments the whole pipeline: Fit/TransformTarget
+	// latencies and spans, CI-test counters from the FS search, per-epoch
+	// reconstructor losses, and a reconstruction-error histogram. It is
+	// propagated to the FS/GAN/VAE sub-configs unless those already carry
+	// their own observer. Instrumentation never alters results: a nil Obs
+	// and a live Obs produce byte-identical adapters. Never serialized.
+	Obs *obs.Observer `json:"-"`
 }
 
 // Adapter is the paper's domain-adaptation pipeline (Fig. 1): feature
@@ -65,6 +75,19 @@ func NewAdapter(cfg AdapterConfig) *Adapter {
 	if cfg.Recon == 0 {
 		cfg.Recon = ReconGAN
 	}
+	if cfg.Obs != nil {
+		// Light up the sub-stages with the pipeline observer unless the
+		// caller wired stage-specific ones.
+		if cfg.FS.Obs == nil {
+			cfg.FS.Obs = cfg.Obs
+		}
+		if cfg.GAN.Obs == nil {
+			cfg.GAN.Obs = cfg.Obs
+		}
+		if cfg.VAE.Obs == nil {
+			cfg.VAE.Obs = cfg.Obs
+		}
+	}
 	return &Adapter{cfg: cfg}
 }
 
@@ -76,6 +99,11 @@ var ErrNoVariant = errors.New("core: no variant features identified")
 // Fit runs feature separation using the few-shot target support set and
 // trains the reconstructor on source data only.
 func (a *Adapter) Fit(source *dataset.Dataset, targetSupport *dataset.Dataset) error {
+	o := a.cfg.Obs
+	defer o.Time(obs.MetricAdapterFitSeconds)()
+	sp := o.StartSpan("adapter.fit")
+	defer sp.End()
+
 	if err := source.Validate(); err != nil {
 		return fmt.Errorf("core: source: %w", err)
 	}
@@ -86,10 +114,17 @@ func (a *Adapter) Fit(source *dataset.Dataset, targetSupport *dataset.Dataset) e
 		return fmt.Errorf("core: feature width mismatch %d vs %d",
 			source.NumFeatures(), targetSupport.NumFeatures())
 	}
+	fsSpan := sp.Child("feature_separation")
 	sep := NewFeatureSeparator(a.cfg.FS)
 	if err := sep.Fit(source.X, targetSupport.X); err != nil {
+		fsSpan.End()
 		return err
 	}
+	fsSpan.SetAttr("variant", strconv.Itoa(len(sep.variant)))
+	fsSpan.SetAttr("invariant", strconv.Itoa(len(sep.invariant)))
+	fsSpan.End()
+	o.Gauge("netdrift_variant_features").Set(float64(len(sep.variant)))
+	o.Gauge("netdrift_invariant_features").Set(float64(len(sep.invariant)))
 	a.sep = sep
 	a.recon = nil
 	a.fitted = true
@@ -113,11 +148,40 @@ func (a *Adapter) Fit(source *dataset.Dataset, targetSupport *dataset.Dataset) e
 	if err != nil {
 		return err
 	}
+	reconSpan := sp.Child("reconstructor.fit")
+	reconSpan.SetAttr("kind", a.cfg.Recon.String())
 	if err := recon.Fit(inv, vr, source.Y, source.NumClasses()); err != nil {
+		reconSpan.End()
 		return fmt.Errorf("core: train reconstructor: %w", err)
 	}
+	reconSpan.End()
 	a.recon = recon
+	a.observeReconstruction(inv, vr)
 	return nil
+}
+
+// observeReconstruction records a per-row RMSE histogram of the trained
+// reconstructor against the true (scaled) source variant block. It runs
+// only when an observer is attached and performs no RNG draws, so it can
+// never perturb adaptation results.
+func (a *Adapter) observeReconstruction(inv, vr [][]float64) {
+	o := a.cfg.Obs
+	if o == nil || o.Registry == nil || len(inv) == 0 {
+		return
+	}
+	vrHat, err := a.recon.Reconstruct(inv)
+	if err != nil || len(vrHat) != len(vr) {
+		return
+	}
+	h := o.Histogram(obs.MetricReconError)
+	for i := range vr {
+		var ss float64
+		for j := range vr[i] {
+			d := vrHat[i][j] - vr[i][j]
+			ss += d * d
+		}
+		h.Observe(math.Sqrt(ss / float64(len(vr[i]))))
+	}
 }
 
 func (a *Adapter) newReconstructor() (Reconstructor, error) {
@@ -180,6 +244,10 @@ func (a *Adapter) TrainingData(source *dataset.Dataset) (*dataset.Dataset, error
 func (a *Adapter) TransformTarget(x [][]float64) ([][]float64, error) {
 	if !a.fitted {
 		return nil, ErrNotFitted
+	}
+	if o := a.cfg.Obs; o != nil {
+		defer o.Time(obs.MetricTransformSeconds)()
+		o.Counter(obs.MetricTransformRows).Add(float64(len(x)))
 	}
 	scaled, err := a.sep.Scale(x)
 	if err != nil {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"netdrift/internal/dataset"
 	"netdrift/internal/nn"
+	"netdrift/internal/obs"
 )
 
 // GANConfig tunes the conditional GAN reconstructor. Zero values select the
@@ -29,6 +31,11 @@ type GANConfig struct {
 	// conditional distribution. Set to 0 for the pure objective.
 	AnchorWeight float64 // default 0.25
 	Seed         int64
+	// Obs, when non-nil, receives per-epoch generator/discriminator losses
+	// and a fit-completion event. It never changes the training math or the
+	// RNG stream, so instrumented and plain runs produce identical weights.
+	// Never serialized.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c *GANConfig) applyDefaults(numFeatures int) {
@@ -148,7 +155,11 @@ func (g *CGAN) Fit(inv, vr [][]float64, y []int, numClasses int) error {
 	discParams := g.disc.Params()
 
 	n := len(inv)
+	bestLoss := math.Inf(1)
+	convergedEpoch := 0
 	for epoch := 0; epoch < g.cfg.Epochs; epoch++ {
+		var genSum, discSum float64
+		var batches int
 		for _, idx := range nn.Minibatches(n, g.cfg.BatchSize, g.rng) {
 			bInv := nn.Gather(inv, idx)
 			bVar := nn.Gather(vr, idx)
@@ -156,14 +167,34 @@ func (g *CGAN) Fit(inv, vr [][]float64, y []int, numClasses int) error {
 			if g.cfg.Conditional {
 				bLab = nn.Gather(oneHot, idx)
 			}
-			if err := g.discStep(optD, discParams, genParams, bInv, bVar, bLab); err != nil {
+			dLoss, err := g.discStep(optD, discParams, genParams, bInv, bVar, bLab)
+			if err != nil {
 				return fmt.Errorf("core: gan epoch %d: %w", epoch, err)
 			}
-			if err := g.genStep(optG, genParams, discParams, bInv, bVar, bLab); err != nil {
+			gLoss, err := g.genStep(optG, genParams, discParams, bInv, bVar, bLab)
+			if err != nil {
 				return fmt.Errorf("core: gan epoch %d: %w", epoch, err)
 			}
+			genSum += gLoss
+			discSum += dLoss
+			batches++
+		}
+		if batches > 0 {
+			genMean := genSum / float64(batches)
+			if genMean < bestLoss {
+				bestLoss = genMean
+				convergedEpoch = epoch + 1
+			}
+			g.cfg.Obs.OnTrainEpoch(obs.TrainEpoch{
+				Model: g.Name(), Epoch: epoch,
+				GenLoss: genMean, DiscLoss: discSum / float64(batches),
+				Adversarial: true,
+			})
 		}
 	}
+	g.cfg.Obs.OnTrainDone(obs.TrainDone{
+		Model: g.Name(), Epochs: g.cfg.Epochs, ConvergedEpoch: convergedEpoch,
+	})
 	// Pin the inference noise at the prior mode: the paper's M=1
 	// Monte-Carlo estimate with a small noise vector, made reproducible so
 	// repeated transformations of the same sample agree exactly.
@@ -186,40 +217,42 @@ func (g *CGAN) discInput(bInv, bVar, bLab [][]float64) [][]float64 {
 	return nn.ConcatRows(bInv, bVar)
 }
 
-// discStep trains D to separate real from generated variant features.
-func (g *CGAN) discStep(opt nn.Optimizer, discParams, genParams []*nn.Param, bInv, bVar, bLab [][]float64) error {
+// discStep trains D to separate real from generated variant features. It
+// returns the summed real+fake BCE loss of the step.
+func (g *CGAN) discStep(opt nn.Optimizer, discParams, genParams []*nn.Param, bInv, bVar, bLab [][]float64) (float64, error) {
 	n := len(bInv)
 	// Real pass.
 	realOut := g.disc.Forward(g.discInput(bInv, bVar, bLab), true)
 	ones := constTargets(n, 0.9) // mild label smoothing for stability
-	_, gradReal, err := nn.BCEWithLogits(realOut, ones)
+	lossReal, gradReal, err := nn.BCEWithLogits(realOut, ones)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	g.disc.Backward(gradReal)
 	// Fake pass (generator output detached: we never backward into G here).
 	fake := g.generate(bInv, true)
 	fakeOut := g.disc.Forward(g.discInput(bInv, fake, bLab), true)
 	zeros := constTargets(n, 0)
-	_, gradFake, err := nn.BCEWithLogits(fakeOut, zeros)
+	lossFake, gradFake, err := nn.BCEWithLogits(fakeOut, zeros)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	g.disc.Backward(gradFake)
 	opt.Step(discParams)
 	nn.ZeroGrads(genParams) // drop any gradient that leaked into G caches
-	return nil
+	return lossReal + lossFake, nil
 }
 
-// genStep trains G to fool D (plus the optional reconstruction anchor).
-func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param, bInv, bVar, bLab [][]float64) error {
+// genStep trains G to fool D (plus the optional reconstruction anchor). It
+// returns the generator objective: adversarial BCE plus the weighted anchor.
+func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param, bInv, bVar, bLab [][]float64) (float64, error) {
 	n := len(bInv)
 	fake := g.generate(bInv, true)
 	fakeOut := g.disc.Forward(g.discInput(bInv, fake, bLab), true)
 	ones := constTargets(n, 1)
-	_, gradAdv, err := nn.BCEWithLogits(fakeOut, ones)
+	loss, gradAdv, err := nn.BCEWithLogits(fakeOut, ones)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	gradDIn := g.disc.Backward(gradAdv)
 	// Slice out the gradient w.r.t. the generated variant block.
@@ -229,14 +262,15 @@ func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param, bInv
 		gradFake[i] = append([]float64(nil), seg...)
 	}
 	if g.cfg.AnchorWeight > 0 {
-		_, gradMSE, err := nn.MSE(fake, bVar)
+		lossMSE, gradMSE, err := nn.MSE(fake, bVar)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		// nn.MSE normalizes by rows×columns while the adversarial BCE
 		// normalizes by rows only; rescale by the variant dimension so the
 		// anchor weight expresses a per-row balance.
 		w := g.cfg.AnchorWeight * float64(g.varDim)
+		loss += w * lossMSE
 		for i := range gradFake {
 			for j := range gradFake[i] {
 				gradFake[i][j] += w * gradMSE[i][j]
@@ -246,7 +280,7 @@ func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param, bInv
 	g.gen.Backward(gradFake)
 	opt.Step(genParams)
 	nn.ZeroGrads(discParams) // D gradients from this pass are discarded
-	return nil
+	return loss, nil
 }
 
 // Reconstruct maps invariant rows to source-like variant features using a

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"netdrift/internal/obs"
+)
+
+// TestObserverDoesNotPerturbResults pins the instrumentation contract: an
+// attached Observer must not consume RNG or alter any arithmetic, so an
+// instrumented run produces bit-identical outputs to a plain one.
+func TestObserverDoesNotPerturbResults(t *testing.T) {
+	src := driftToy(300, false, 11)
+	tgt := driftToy(30, true, 12)
+	test := driftToy(50, true, 13)
+
+	fit := func(o *obs.Observer) *Adapter {
+		ad := NewAdapter(AdapterConfig{
+			Mode:  ModeFSRecon,
+			Recon: ReconGAN,
+			GAN:   GANConfig{Epochs: 8},
+			Seed:  21,
+			Obs:   o,
+		})
+		if err := ad.Fit(src, tgt); err != nil {
+			t.Fatal(err)
+		}
+		return ad
+	}
+
+	observer := obs.New()
+	plain := fit(nil)
+	instrumented := fit(observer)
+
+	plainOut, err := plain.TransformTarget(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsOut, err := instrumented.TransformTarget(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plainOut {
+		for j := range plainOut[i] {
+			if plainOut[i][j] != obsOut[i][j] {
+				t.Fatalf("row %d col %d: instrumented %v != plain %v", i, j, obsOut[i][j], plainOut[i][j])
+			}
+		}
+	}
+
+	// And the observer must actually have seen the run.
+	reg := observer.Registry
+	if epochs, _ := reg.Value(obs.MetricTrainEpochs, "model", "GAN"); epochs != 8 {
+		t.Errorf("train epochs = %v; want 8", epochs)
+	}
+	if fits, _ := reg.Value(obs.MetricTrainFits, "model", "GAN"); fits != 1 {
+		t.Errorf("train fits = %v; want 1", fits)
+	}
+	if marg, _ := reg.Value(obs.MetricCITests, "kind", "marginal"); marg == 0 {
+		t.Error("no marginal CI tests recorded")
+	}
+	if h := reg.Histogram(obs.MetricAdapterFitSeconds); h.Count() != 1 {
+		t.Errorf("adapter fit timer count = %d; want 1", h.Count())
+	}
+	if rows, _ := reg.Value(obs.MetricTransformRows); rows != float64(len(test.X)) {
+		t.Errorf("transform rows = %v; want %d", rows, len(test.X))
+	}
+	if conv := reg.Histogram(obs.MetricConvergedEpoch, "model", "GAN"); conv.Count() != 1 {
+		t.Errorf("converged-epoch count = %d; want 1", conv.Count())
+	} else if m := conv.Mean(); m < 1 || m > 8 {
+		t.Errorf("converged epoch = %v; want within [1, 8]", m)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"netdrift/internal/nn"
+	"netdrift/internal/obs"
 )
 
 // VAEConfig tunes the conditional VAE ablation reconstructor (Table II).
@@ -17,6 +18,9 @@ type VAEConfig struct {
 	Hidden    int     // default from data dimension
 	KLWeight  float64 // default 0.05
 	Seed      int64
+	// Obs, when non-nil, receives per-epoch training losses. It never
+	// changes the training math or the RNG stream. Never serialized.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c *VAEConfig) applyDefaults(numFeatures int) {
@@ -98,21 +102,39 @@ func (v *VAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 	params := append(v.encoder.Params(), v.decoder.Params()...)
 
 	n := len(inv)
+	bestLoss := math.Inf(1)
+	convergedEpoch := 0
 	for epoch := 0; epoch < v.cfg.Epochs; epoch++ {
+		var lossSum float64
+		var batches int
 		for _, idx := range nn.Minibatches(n, v.cfg.BatchSize, v.rng) {
 			bInv := nn.Gather(inv, idx)
 			bVar := nn.Gather(vr, idx)
-			if err := v.step(opt, params, bInv, bVar); err != nil {
+			loss, err := v.step(opt, params, bInv, bVar)
+			if err != nil {
 				return fmt.Errorf("core: vae epoch %d: %w", epoch, err)
 			}
+			lossSum += loss
+			batches++
+		}
+		if batches > 0 {
+			mean := lossSum / float64(batches)
+			if mean < bestLoss {
+				bestLoss = mean
+				convergedEpoch = epoch + 1
+			}
+			v.cfg.Obs.OnTrainEpoch(obs.TrainEpoch{Model: v.Name(), Epoch: epoch, GenLoss: mean})
 		}
 	}
+	v.cfg.Obs.OnTrainDone(obs.TrainDone{Model: v.Name(), Epochs: v.cfg.Epochs, ConvergedEpoch: convergedEpoch})
 	v.fixedZ = make([]float64, v.cfg.LatentDim) // prior mean
 	v.trained = true
 	return nil
 }
 
-func (v *VAE) step(opt nn.Optimizer, params []*nn.Param, bInv, bVar [][]float64) error {
+// step runs one minibatch update and returns the reconstruction MSE (the
+// monitored loss; the KL term is folded into the gradients only).
+func (v *VAE) step(opt nn.Optimizer, params []*nn.Param, bInv, bVar [][]float64) (float64, error) {
 	n := len(bInv)
 	ld := v.cfg.LatentDim
 
@@ -133,9 +155,9 @@ func (v *VAE) step(opt nn.Optimizer, params []*nn.Param, bInv, bVar [][]float64)
 	}
 
 	recon := v.decoder.Forward(nn.ConcatRows(bInv, z), true)
-	_, gradRecon, err := nn.MSE(recon, bVar)
+	lossRecon, gradRecon, err := nn.MSE(recon, bVar)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	gradDecIn := v.decoder.Backward(gradRecon)
 
@@ -157,7 +179,7 @@ func (v *VAE) step(opt nn.Optimizer, params []*nn.Param, bInv, bVar [][]float64)
 	}
 	v.encoder.Backward(gradEnc)
 	opt.Step(params)
-	return nil
+	return lossRecon, nil
 }
 
 // Reconstruct decodes variant features with prior-sampled latents.
@@ -223,19 +245,34 @@ func (a *VanillaAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 	)
 	opt := nn.NewAdam(a.cfg.LR, 1e-6)
 	params := a.net.Params()
+	bestLoss := math.Inf(1)
+	convergedEpoch := 0
 	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		var lossSum float64
+		var batches int
 		for _, idx := range nn.Minibatches(len(inv), a.cfg.BatchSize, rng) {
 			bInv := nn.Gather(inv, idx)
 			bVar := nn.Gather(vr, idx)
 			out := a.net.Forward(bInv, true)
-			_, grad, err := nn.MSE(out, bVar)
+			loss, grad, err := nn.MSE(out, bVar)
 			if err != nil {
 				return fmt.Errorf("core: ae epoch %d: %w", epoch, err)
 			}
 			a.net.Backward(grad)
 			opt.Step(params)
+			lossSum += loss
+			batches++
+		}
+		if batches > 0 {
+			mean := lossSum / float64(batches)
+			if mean < bestLoss {
+				bestLoss = mean
+				convergedEpoch = epoch + 1
+			}
+			a.cfg.Obs.OnTrainEpoch(obs.TrainEpoch{Model: a.Name(), Epoch: epoch, GenLoss: mean})
 		}
 	}
+	a.cfg.Obs.OnTrainDone(obs.TrainDone{Model: a.Name(), Epochs: a.cfg.Epochs, ConvergedEpoch: convergedEpoch})
 	a.trained = true
 	return nil
 }

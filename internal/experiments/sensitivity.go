@@ -10,6 +10,7 @@ import (
 	"netdrift/internal/dataset"
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
+	"netdrift/internal/obs"
 )
 
 // SensitivityConfig drives the §VI-C analyses.
@@ -20,6 +21,8 @@ type SensitivityConfig struct {
 	Seed     int64
 	Scale    Scale
 	Progress func(string)
+	// Obs, when non-nil, instruments the FS searches and adapter runs.
+	Obs *obs.Observer
 }
 
 // VariantCountResult reports how many domain-variant features FS (and the
@@ -68,7 +71,7 @@ func RunVariantCounts(cfg SensitivityConfig) (*VariantCountResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			n, err := VariantCount(pair.Source, support, causal.FNodeConfig{})
+			n, err := VariantCount(pair.Source, support, causal.FNodeConfig{Obs: cfg.Obs})
 			if err != nil {
 				return nil, err
 			}
@@ -142,6 +145,7 @@ func RunVariance(cfg SensitivityConfig, shot int) (*VarianceResult, error) {
 		}
 		seed := cfg.Seed + int64(rep)*7919
 		m := NewFSGAN(cfg.Scale.GANEpochs, seed)
+		m.Cfg.Obs = cfg.Obs
 		clf := models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
 		pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
 		if err != nil {
@@ -196,7 +200,7 @@ func RunInDomain(cfg SensitivityConfig) (*InDomainResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		pred, err := baselines.SrcOnly{}.Predict(train, nil, test, clf)
+		pred, err := baselines.Instrument(baselines.SrcOnly{}, cfg.Obs).Predict(train, nil, test, clf)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"netdrift/internal/dataset"
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
+	"netdrift/internal/obs"
 )
 
 // Pair is one drifted dataset instance for the evaluation protocol.
@@ -78,6 +79,9 @@ type Table1Config struct {
 	Methods []string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress func(string)
+	// Obs, when non-nil, instruments the run: per-method predict timers and
+	// the full adapter pipeline metrics for the "ours" rows.
+	Obs *obs.Observer
 }
 
 // MethodRow is one method's F1 results: Scores[shot][classifier] for
@@ -200,6 +204,10 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 			for _, spec := range roster {
 				seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
 				m := spec.build(cfg.Scale, seed)
+				if om, ok := m.(*OursMethod); ok {
+					om.Cfg.Obs = cfg.Obs
+				}
+				m = baselines.Instrument(m, cfg.Obs)
 				if m.ModelAgnostic() {
 					for _, kind := range models.AllKinds() {
 						clf, err := models.New(kind, models.Options{

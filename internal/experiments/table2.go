@@ -7,6 +7,7 @@ import (
 	"netdrift/internal/core"
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
+	"netdrift/internal/obs"
 )
 
 // Table2Config drives the reconstruction-strategy ablation (Table II):
@@ -18,6 +19,8 @@ type Table2Config struct {
 	Seed     int64
 	Scale    Scale
 	Progress func(string)
+	// Obs, when non-nil, instruments each ablation's adapter pipeline.
+	Obs *obs.Observer
 }
 
 // Table2Result holds Scores[reconstruction][shot] mean F1 with TNet.
@@ -59,6 +62,7 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 			for _, kind := range kinds {
 				seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
 				m := NewFSRecon(kind, cfg.Scale.GANEpochs, seed)
+				m.Cfg.Obs = cfg.Obs
 				clf := models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
 				pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
 				if err != nil {

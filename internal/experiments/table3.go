@@ -8,6 +8,7 @@ import (
 	"netdrift/internal/dataset"
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
+	"netdrift/internal/obs"
 )
 
 // Table3Config drives the multi-target no-retraining experiment (§VI-F):
@@ -19,6 +20,8 @@ type Table3Config struct {
 	Seed     int64
 	Scale    Scale
 	Progress func(string)
+	// Obs, when non-nil, instruments both per-target adapter pipelines.
+	Obs *obs.Observer
 }
 
 // Table3Result holds Scores[adapter][target][shot]: F1 of the shared
@@ -85,6 +88,7 @@ func RunTable3(cfg Table3Config) (*Table3Result, error) {
 					Recon: core.ReconGAN,
 					GAN:   core.GANConfig{Epochs: cfg.Scale.GANEpochs},
 					Seed:  seed + int64(a),
+					Obs:   cfg.Obs,
 				})
 				if err := ad.Fit(d.Source, support); err != nil {
 					return nil, fmt.Errorf("experiments: table3 adapter %d: %w", a+1, err)

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"netdrift/internal/obs"
 	"netdrift/internal/stats"
 )
 
@@ -20,19 +21,32 @@ import (
 var ErrNotFitted = errors.New("monitor: detector not fitted")
 
 // Config tunes the drift detector.
+//
+// Zero values select the documented defaults. To switch a check off
+// entirely, set its knob to any negative value (the sentinel): a float
+// zero cannot distinguish "unset" from "explicitly disabled", so negative
+// semantics carry that intent instead of being silently reset.
 type Config struct {
 	// Alpha is the per-feature KS-test significance level after Bonferroni
-	// correction across features (default 0.01).
+	// correction across features (default 0.01). Alpha < 0 disables the
+	// KS check: no feature is ever rejected on the KS criterion.
 	Alpha float64
 	// MinFraction is the fraction of features that must reject before the
 	// window is declared drifted (default 0.02, i.e. 2% of features).
+	// MinFraction < 0 selects maximum sensitivity: a single rejecting
+	// feature drifts the window (the floor the default also bottoms out at
+	// for narrow data).
 	MinFraction float64
 	// PSIBins is the number of quantile bins for the population stability
 	// index (default 10).
 	PSIBins int
 	// PSIThreshold flags a feature as drifted when its PSI exceeds this
 	// value (industry convention: 0.2 = significant shift; default 0.2).
+	// PSIThreshold < 0 disables the PSI check.
 	PSIThreshold float64
+	// Obs, when non-nil, records check/drift counters and per-feature
+	// KS-statistic and PSI histograms for every window checked.
+	Obs *obs.Observer `json:"-"`
 }
 
 func (c *Config) applyDefaults() {
@@ -106,11 +120,31 @@ func (d *Detector) Fit(reference [][]float64) error {
 	return nil
 }
 
+// FeatureReport attributes one feature's contribution to a drift verdict.
+type FeatureReport struct {
+	// Index is the feature's column index.
+	Index int
+	// KSStat is the two-sample Kolmogorov–Smirnov statistic (sup-distance
+	// between the empirical CDFs).
+	KSStat float64
+	// KSP is the KS p-value.
+	KSP float64
+	// PSI is the feature's population stability index.
+	PSI float64
+	// Rejected is true when the feature failed the (Bonferroni-corrected)
+	// KS test or exceeded the PSI threshold — the features responsible for
+	// a Drifted verdict.
+	Rejected bool
+}
+
 // Report is the outcome of checking one telemetry window.
 type Report struct {
 	// Drifted is true when the window departs from the reference enough to
 	// warrant re-running FS and retraining the GAN.
 	Drifted bool
+	// Features holds the full per-feature attribution behind the verdict,
+	// in column order.
+	Features []FeatureReport
 	// DriftedFeatures lists feature indices whose KS test rejected.
 	DriftedFeatures []int
 	// KSPValues holds the per-feature KS p-values.
@@ -121,6 +155,28 @@ type Report struct {
 	MaxPSI float64
 }
 
+// TopOffenders returns up to k rejected features ordered by descending
+// PSI (ties broken by smaller KS p-value) — the headline attribution for
+// operator-facing output.
+func (r *Report) TopOffenders(k int) []FeatureReport {
+	out := make([]FeatureReport, 0, k)
+	for _, f := range r.Features {
+		if f.Rejected {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PSI != out[j].PSI {
+			return out[i].PSI > out[j].PSI
+		}
+		return out[i].KSP < out[j].KSP
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
 // Check compares a window of telemetry rows against the reference.
 func (d *Detector) Check(window [][]float64) (*Report, error) {
 	if !d.fitted {
@@ -129,13 +185,18 @@ func (d *Detector) Check(window [][]float64) (*Report, error) {
 	if len(window) < 5 {
 		return nil, fmt.Errorf("monitor: need >= 5 window rows, have %d", len(window))
 	}
+	o := d.cfg.Obs
 	width := len(d.refSorted)
 	rep := &Report{
+		Features:  make([]FeatureReport, width),
 		KSPValues: make([]float64, width),
 		PSI:       make([]float64, width),
 	}
+	ksEnabled := d.cfg.Alpha >= 0
+	psiEnabled := d.cfg.PSIThreshold >= 0
 	bonferroni := d.cfg.Alpha / float64(width)
 	col := make([]float64, len(window))
+	var psiHits int
 	for j := 0; j < width; j++ {
 		for i, row := range window {
 			if len(row) != width {
@@ -143,9 +204,10 @@ func (d *Detector) Check(window [][]float64) (*Report, error) {
 			}
 			col[i] = row[j]
 		}
-		p := KSTwoSamplePValue(d.refSorted[j], col)
+		stat, p := KSTwoSample(d.refSorted[j], col)
 		rep.KSPValues[j] = p
-		if p < bonferroni {
+		ksRejected := ksEnabled && p < bonferroni
+		if ksRejected {
 			rep.DriftedFeatures = append(rep.DriftedFeatures, j)
 		}
 		psi := PSI(d.refProps[j], binProportions(sortedCopy(col), d.binEdges[j]))
@@ -153,38 +215,65 @@ func (d *Detector) Check(window [][]float64) (*Report, error) {
 		if psi > rep.MaxPSI {
 			rep.MaxPSI = psi
 		}
+		psiRejected := psiEnabled && psi > d.cfg.PSIThreshold
+		if psiRejected {
+			psiHits++
+		}
+		rep.Features[j] = FeatureReport{
+			Index:    j,
+			KSStat:   stat,
+			KSP:      p,
+			PSI:      psi,
+			Rejected: ksRejected || psiRejected,
+		}
+		if o != nil {
+			o.Histogram(obs.MetricMonitorKSStat).Observe(stat)
+			o.Histogram(obs.MetricMonitorPSI).Observe(psi)
+		}
 	}
-	need := int(math.Ceil(d.cfg.MinFraction * float64(width)))
+	minFraction := d.cfg.MinFraction
+	if minFraction < 0 {
+		minFraction = 0 // sentinel: a single rejecting feature suffices
+	}
+	need := int(math.Ceil(minFraction * float64(width)))
 	if need < 1 {
 		need = 1
 	}
-	var psiHits int
-	for _, v := range rep.PSI {
-		if v > d.cfg.PSIThreshold {
-			psiHits++
+	rep.Drifted = len(rep.DriftedFeatures) >= need || psiHits >= need
+	if o != nil {
+		o.Counter(obs.MetricMonitorChecks).Inc()
+		if rep.Drifted {
+			o.Counter(obs.MetricMonitorDrifts).Inc()
 		}
 	}
-	rep.Drifted = len(rep.DriftedFeatures) >= need || psiHits >= need
 	return rep, nil
 }
 
-// KSTwoSamplePValue computes the two-sample Kolmogorov–Smirnov p-value via
-// the asymptotic Kolmogorov distribution. refSorted must be ascending;
-// sample may be in any order.
-func KSTwoSamplePValue(refSorted, sample []float64) float64 {
+// KSTwoSample computes the two-sample Kolmogorov–Smirnov statistic (the
+// sup-distance between the empirical CDFs) and its p-value via the
+// asymptotic Kolmogorov distribution. refSorted must be ascending; sample
+// may be in any order.
+func KSTwoSample(refSorted, sample []float64) (stat, p float64) {
 	n := float64(len(refSorted))
 	m := float64(len(sample))
 	if n == 0 || m == 0 {
-		return 1
+		return 0, 1
 	}
 	s := sortedCopy(sample)
-	// Walk both empirical CDFs.
+	// Walk both empirical CDFs. The CDF gap is only measured after both
+	// walks consume every copy of the current value, so tied observations
+	// (including between the two samples) never inflate the statistic.
 	var i, j int
 	var dMax float64
 	for i < len(refSorted) && j < len(s) {
-		if refSorted[i] <= s[j] {
+		v := refSorted[i]
+		if s[j] < v {
+			v = s[j]
+		}
+		for i < len(refSorted) && refSorted[i] == v {
 			i++
-		} else {
+		}
+		for j < len(s) && s[j] == v {
 			j++
 		}
 		diff := math.Abs(float64(i)/n - float64(j)/m)
@@ -194,7 +283,13 @@ func KSTwoSamplePValue(refSorted, sample []float64) float64 {
 	}
 	en := math.Sqrt(n * m / (n + m))
 	lambda := (en + 0.12 + 0.11/en) * dMax
-	return kolmogorovQ(lambda)
+	return dMax, kolmogorovQ(lambda)
+}
+
+// KSTwoSamplePValue returns only the p-value of KSTwoSample.
+func KSTwoSamplePValue(refSorted, sample []float64) float64 {
+	_, p := KSTwoSample(refSorted, sample)
+	return p
 }
 
 // kolmogorovQ is the survival function of the Kolmogorov distribution.

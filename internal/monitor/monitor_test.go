@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"netdrift/internal/dataset"
+	"netdrift/internal/obs"
 )
 
 func gaussRows(n, d int, shift float64, shiftCols []int, seed int64) [][]float64 {
@@ -211,5 +212,131 @@ func sortFloats(xs []float64) {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
+	}
+}
+
+func TestFeatureAttribution(t *testing.T) {
+	det := New(Config{})
+	if err := det.Fit(gaussRows(2000, 10, 0, nil, 5)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := det.Check(gaussRows(300, 10, 2.0, []int{2, 6}, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Features) != 10 {
+		t.Fatalf("attribution covers %d features; want 10", len(rep.Features))
+	}
+	for j, f := range rep.Features {
+		if f.Index != j {
+			t.Errorf("feature %d reported index %d", j, f.Index)
+		}
+		shifted := j == 2 || j == 6
+		if f.Rejected != shifted {
+			t.Errorf("feature %d: rejected=%v, shifted=%v (KS=%.3f p=%.3g PSI=%.3f)",
+				j, f.Rejected, shifted, f.KSStat, f.KSP, f.PSI)
+		}
+		if f.KSStat < 0 || f.KSStat > 1 {
+			t.Errorf("feature %d: KS statistic %v outside [0,1]", j, f.KSStat)
+		}
+	}
+	top := rep.TopOffenders(1)
+	if len(top) != 1 || (top[0].Index != 2 && top[0].Index != 6) {
+		t.Errorf("TopOffenders(1) = %+v; want one of the shifted features", top)
+	}
+	all := rep.TopOffenders(100)
+	if len(all) != 2 {
+		t.Errorf("TopOffenders(100) returned %d features; want 2", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].PSI < all[i].PSI {
+			t.Errorf("TopOffenders not sorted by descending PSI: %+v", all)
+		}
+	}
+}
+
+func TestConfigSentinels(t *testing.T) {
+	ref := gaussRows(2000, 10, 0, nil, 6)
+	shifted := gaussRows(300, 10, 2.0, []int{1, 4}, 600)
+
+	// Negative Alpha disables the KS criterion entirely.
+	noKS := New(Config{Alpha: -1, PSIThreshold: -1})
+	if err := noKS.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := noKS.Check(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Drifted || len(rep.DriftedFeatures) != 0 {
+		t.Errorf("both checks disabled, yet drifted=%v features=%v", rep.Drifted, rep.DriftedFeatures)
+	}
+	for _, f := range rep.Features {
+		if f.Rejected {
+			t.Errorf("feature %d rejected with both checks disabled", f.Index)
+		}
+	}
+
+	// Negative MinFraction: a single rejecting feature drifts the window.
+	sensitive := New(Config{MinFraction: -1})
+	if err := sensitive.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = sensitive.Check(gaussRows(300, 10, 2.0, []int{7}, 700))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drifted {
+		t.Error("MinFraction<0 should drift on a single rejecting feature")
+	}
+
+	// Zero values still select the documented defaults.
+	def := New(Config{})
+	if def.cfg.Alpha != 0.01 || def.cfg.MinFraction != 0.02 || def.cfg.PSIBins != 10 || def.cfg.PSIThreshold != 0.2 {
+		t.Errorf("defaults not applied: %+v", def.cfg)
+	}
+	// Negative sentinels survive applyDefaults.
+	kept := New(Config{Alpha: -1, MinFraction: -1, PSIThreshold: -1})
+	if kept.cfg.Alpha >= 0 || kept.cfg.MinFraction >= 0 || kept.cfg.PSIThreshold >= 0 {
+		t.Errorf("sentinels overwritten: %+v", kept.cfg)
+	}
+}
+
+func TestDetectorRecordsMetrics(t *testing.T) {
+	o := obs.New()
+	det := New(Config{Obs: o})
+	if err := det.Fit(gaussRows(1000, 5, 0, nil, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Check(gaussRows(100, 5, 0, nil, 800)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Check(gaussRows(100, 5, 3.0, []int{0, 1, 2}, 801)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Registry.Value(obs.MetricMonitorChecks); v != 2 {
+		t.Errorf("checks counter = %v; want 2", v)
+	}
+	if v, _ := o.Registry.Value(obs.MetricMonitorDrifts); v != 1 {
+		t.Errorf("drifts counter = %v; want 1", v)
+	}
+	if h := o.Registry.Histogram(obs.MetricMonitorKSStat); h.Count() != 10 {
+		t.Errorf("KS-stat observations = %d; want 10 (2 windows x 5 features)", h.Count())
+	}
+}
+
+func TestKSTwoSampleStatistic(t *testing.T) {
+	// Identical samples: statistic 0. Disjoint samples: statistic 1.
+	same := []float64{1, 2, 3, 4, 5}
+	stat, _ := KSTwoSample(same, same)
+	if stat != 0 {
+		t.Errorf("identical samples: stat = %v; want 0", stat)
+	}
+	stat, p := KSTwoSample([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if stat != 1 {
+		t.Errorf("disjoint samples: stat = %v; want 1", stat)
+	}
+	if p > 0.2 {
+		t.Errorf("disjoint samples: p = %v; want small", p)
 	}
 }

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// defaultHistogramBins bounds the memory of a streaming histogram. 64
+// centroids keep quantile estimates within a couple of percent of the data
+// range for the unimodal distributions produced by timers and losses.
+const defaultHistogramBins = 64
+
+// Histogram is a fixed-memory streaming histogram in the style of Ben-Haim
+// & Tom-Tov (JMLR 2010): observations are absorbed into at most maxBins
+// weighted centroids, merging the closest pair when the budget is
+// exceeded. Quantiles are estimated by linear interpolation over the
+// cumulative centroid weights. All methods are safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	maxBins int
+	bins    []centroid // ascending by value
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+type centroid struct {
+	value  float64
+	weight float64
+}
+
+func newHistogram(maxBins int) *Histogram {
+	if maxBins < 2 {
+		maxBins = defaultHistogramBins
+	}
+	return &Histogram{maxBins: maxBins, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe adds one sample. NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	// Insert a unit-weight centroid at the sorted position.
+	i := sort.Search(len(h.bins), func(i int) bool { return h.bins[i].value >= v })
+	if i < len(h.bins) && h.bins[i].value == v {
+		h.bins[i].weight++
+		return
+	}
+	h.bins = append(h.bins, centroid{})
+	copy(h.bins[i+1:], h.bins[i:])
+	h.bins[i] = centroid{value: v, weight: 1}
+	if len(h.bins) > h.maxBins {
+		h.mergeClosest()
+	}
+}
+
+// mergeClosest fuses the adjacent centroid pair with the smallest gap into
+// their weighted mean, keeping the bin budget.
+func (h *Histogram) mergeClosest() {
+	best := 0
+	bestGap := math.Inf(1)
+	for i := 0; i+1 < len(h.bins); i++ {
+		if gap := h.bins[i+1].value - h.bins[i].value; gap < bestGap {
+			bestGap = gap
+			best = i
+		}
+	}
+	a, b := h.bins[best], h.bins[best+1]
+	w := a.weight + b.weight
+	h.bins[best] = centroid{
+		value:  (a.value*a.weight + b.value*b.weight) / w,
+		weight: w,
+	}
+	h.bins = append(h.bins[:best+1], h.bins[best+2:]...)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the exact running mean (not a centroid estimate).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by interpolating the
+// cumulative centroid weights, anchored at the exact observed min and max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := q * float64(h.count)
+	// Treat each centroid as a mass point at its value, with half the
+	// weight on either side; walk the cumulative curve between successive
+	// centroid midpoints (the standard Ben-Haim "sum" inversion simplified
+	// to trapezoid-free linear interpolation between centroids).
+	var cum float64
+	prevVal, prevCum := h.min, 0.0
+	for _, b := range h.bins {
+		mid := cum + b.weight/2
+		if target <= mid {
+			if mid == prevCum {
+				return b.value
+			}
+			frac := (target - prevCum) / (mid - prevCum)
+			return prevVal + frac*(b.value-prevVal)
+		}
+		prevVal, prevCum = b.value, mid
+		cum += b.weight
+	}
+	// Tail: interpolate from the last centroid to the observed max.
+	total := float64(h.count)
+	if total == prevCum {
+		return h.max
+	}
+	frac := (target - prevCum) / (total - prevCum)
+	return prevVal + frac*(h.max-prevVal)
+}
+
+// quantiles returns estimates for several q values under one lock.
+func (h *Histogram) quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, q := range qs {
+		out[i] = h.quantileLocked(q)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the ground-truth q-quantile of a sorted slice via
+// linear interpolation (same convention as internal/stats.Quantile).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+func testQuantileAccuracy(t *testing.T, name string, draw func(*rand.Rand) float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	h := newHistogram(defaultHistogramBins)
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = draw(rng)
+		h.Observe(data[i])
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	spread := sorted[len(sorted)-1] - sorted[0]
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := exactQuantile(sorted, q)
+		if err := math.Abs(got - want); err > 0.05*spread {
+			t.Errorf("%s: quantile(%.2f) = %.4f, exact %.4f (err %.4f > 5%% of range %.4f)",
+				name, q, got, want, err, spread)
+		}
+	}
+	if h.Count() != n {
+		t.Errorf("%s: count = %d, want %d", name, h.Count(), n)
+	}
+	var sum float64
+	for _, v := range data {
+		sum += v
+	}
+	if math.Abs(h.Sum()-sum) > 1e-6*math.Abs(sum) {
+		t.Errorf("%s: sum = %g, want %g", name, h.Sum(), sum)
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: min/max = %g/%g, want %g/%g", name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+}
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	testQuantileAccuracy(t, "uniform", func(r *rand.Rand) float64 { return r.Float64() * 100 })
+}
+
+func TestHistogramQuantileNormal(t *testing.T) {
+	testQuantileAccuracy(t, "normal", func(r *rand.Rand) float64 { return 5 + 2*r.NormFloat64() })
+}
+
+func TestHistogramQuantileExponential(t *testing.T) {
+	testQuantileAccuracy(t, "exponential", func(r *rand.Rand) float64 { return r.ExpFloat64() })
+}
+
+func TestHistogramSmall(t *testing.T) {
+	h := newHistogram(8)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(3)
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("single-sample median = %g, want 3", got)
+	}
+	h.Observe(1)
+	h.Observe(2)
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g, want 1", got)
+	}
+	if got := h.Quantile(1); got != 3 {
+		t.Errorf("q1 = %g, want 3", got)
+	}
+	if got := h.Mean(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("mean = %g, want 2", got)
+	}
+}
+
+func TestHistogramNaNAndNil(t *testing.T) {
+	h := newHistogram(8)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN should be dropped")
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram should be inert")
+	}
+}
+
+func TestHistogramBinBudget(t *testing.T) {
+	h := newHistogram(16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.NormFloat64())
+	}
+	if len(h.bins) > 16 {
+		t.Errorf("bins = %d, want <= 16", len(h.bins))
+	}
+	for i := 0; i+1 < len(h.bins); i++ {
+		if h.bins[i].value > h.bins[i+1].value {
+			t.Fatalf("bins out of order at %d", i)
+		}
+	}
+}

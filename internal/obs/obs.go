@@ -1,0 +1,208 @@
+package obs
+
+import "time"
+
+// Metric names recorded by the instrumented pipeline. Centralized here so
+// call sites, the driftbench summary, and the docs agree.
+const (
+	// internal/causal
+	MetricCITests    = "netdrift_ci_tests_total"    // counter{kind="marginal"|"conditional"}
+	MetricCICondSize = "netdrift_ci_cond_size"      // histogram of conditioning-set sizes
+	MetricFSVerdicts = "netdrift_fs_features_total" // counter{verdict="variant"|"invariant"}
+	MetricFSSearches = "netdrift_fs_searches_total" // counter
+	// internal/core
+	MetricAdapterFitSeconds = "netdrift_adapter_fit_seconds" // histogram
+	MetricTransformSeconds  = "netdrift_transform_seconds"   // histogram
+	MetricTransformRows     = "netdrift_transform_rows_total"
+	MetricTrainEpochs       = "netdrift_train_epochs_total"    // counter{model=...}
+	MetricGenLoss           = "netdrift_train_gen_loss"        // histogram{model=...}
+	MetricDiscLoss          = "netdrift_train_disc_loss"       // histogram{model=...}
+	MetricTrainFits         = "netdrift_train_fits_total"      // counter{model=...}
+	MetricConvergedEpoch    = "netdrift_train_converged_epoch" // histogram{model=...}
+	MetricReconError        = "netdrift_reconstruction_rmse"   // histogram
+	// internal/monitor
+	MetricMonitorChecks = "netdrift_monitor_checks_total"
+	MetricMonitorDrifts = "netdrift_monitor_drifts_total"
+	MetricMonitorKSStat = "netdrift_monitor_ks_stat" // histogram across features
+	MetricMonitorPSI    = "netdrift_monitor_psi"     // histogram across features
+	// internal/baselines
+	MetricMethodSeconds = "netdrift_method_predict_seconds" // histogram{method=...}
+)
+
+// TrainEpoch reports one completed reconstructor training epoch.
+type TrainEpoch struct {
+	Model       string  // "GAN", "NoCond", "VAE", "VanillaAE"
+	Epoch       int     // 0-based
+	GenLoss     float64 // generator / total loss (epoch mean)
+	DiscLoss    float64 // discriminator loss (epoch mean); adversarial models only
+	Adversarial bool    // whether DiscLoss is meaningful
+}
+
+// TrainDone reports the end of one reconstructor fit.
+type TrainDone struct {
+	Model          string
+	Epochs         int // epochs actually run
+	ConvergedEpoch int // 1-based epoch of the best (minimum) epoch-mean loss
+}
+
+// TrainHook observes reconstructor training progress.
+type TrainHook interface {
+	Epoch(TrainEpoch)
+	Done(TrainDone)
+}
+
+// CITest reports one conditional-independence test from the FS search.
+type CITest struct {
+	X, Y     int     // variable indices (Y is the F-node in the FS search)
+	CondSize int     // |conditioning set|; 0 for marginal tests
+	P        float64 // Fisher-z p-value
+}
+
+// FeatureVerdict reports the FS search's final call on one feature.
+type FeatureVerdict struct {
+	Feature    int
+	Variant    bool
+	Exonerated bool    // dependence on the domain explained away by siblings
+	MarginalP  float64 // the feature's marginal p-value against the F-node
+}
+
+// SearchHook observes the causal feature-separation search.
+type SearchHook interface {
+	CITest(CITest)
+	Verdict(FeatureVerdict)
+}
+
+// Observer bundles the three observability channels: a metrics registry,
+// a span sink, and optional typed hooks. Any field may be nil; a nil
+// *Observer disables everything. Pass one Observer through the pipeline
+// configs to light up instrumentation end to end.
+type Observer struct {
+	Registry *Registry
+	Spans    Sink
+	Train    TrainHook
+	Search   SearchHook
+}
+
+// New returns an Observer with a fresh metrics registry and no span sink.
+func New() *Observer {
+	return &Observer{Registry: NewRegistry()}
+}
+
+// Enabled reports whether any instrumentation is active.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Counter is a nil-safe Registry.Counter.
+func (o *Observer) Counter(name string, labels ...string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Counter(name, labels...)
+}
+
+// Gauge is a nil-safe Registry.Gauge.
+func (o *Observer) Gauge(name string, labels ...string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Gauge(name, labels...)
+}
+
+// Histogram is a nil-safe Registry.Histogram.
+func (o *Observer) Histogram(name string, labels ...string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Histogram(name, labels...)
+}
+
+// StartSpan opens a root span; returns nil (all methods no-ops) when
+// tracing is disabled.
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return startSpan(o.Spans, 0, name)
+}
+
+// noop is the shared disabled-path closure returned by Time.
+var noop = func() {}
+
+// Time starts a latency timer; invoking the returned func observes the
+// elapsed seconds into the named histogram. Disabled observers return a
+// shared no-op without touching the clock.
+func (o *Observer) Time(name string, labels ...string) func() {
+	if o == nil || o.Registry == nil {
+		return noop
+	}
+	h := o.Registry.Histogram(name, labels...)
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
+}
+
+// OnTrainEpoch records one training epoch into the registry and forwards
+// it to the TrainHook.
+func (o *Observer) OnTrainEpoch(e TrainEpoch) {
+	if o == nil {
+		return
+	}
+	if r := o.Registry; r != nil {
+		r.Counter(MetricTrainEpochs, "model", e.Model).Inc()
+		r.Histogram(MetricGenLoss, "model", e.Model).Observe(e.GenLoss)
+		if e.Adversarial {
+			r.Histogram(MetricDiscLoss, "model", e.Model).Observe(e.DiscLoss)
+		}
+	}
+	if o.Train != nil {
+		o.Train.Epoch(e)
+	}
+}
+
+// OnTrainDone records the end of a reconstructor fit.
+func (o *Observer) OnTrainDone(d TrainDone) {
+	if o == nil {
+		return
+	}
+	if r := o.Registry; r != nil {
+		r.Counter(MetricTrainFits, "model", d.Model).Inc()
+		r.Histogram(MetricConvergedEpoch, "model", d.Model).Observe(float64(d.ConvergedEpoch))
+	}
+	if o.Train != nil {
+		o.Train.Done(d)
+	}
+}
+
+// OnCITest records one CI test into the registry and forwards it to the
+// SearchHook.
+func (o *Observer) OnCITest(t CITest) {
+	if o == nil {
+		return
+	}
+	if r := o.Registry; r != nil {
+		kind := "marginal"
+		if t.CondSize > 0 {
+			kind = "conditional"
+		}
+		r.Counter(MetricCITests, "kind", kind).Inc()
+		r.Histogram(MetricCICondSize).Observe(float64(t.CondSize))
+	}
+	if o.Search != nil {
+		o.Search.CITest(t)
+	}
+}
+
+// OnVerdict records one FS feature verdict.
+func (o *Observer) OnVerdict(v FeatureVerdict) {
+	if o == nil {
+		return
+	}
+	if r := o.Registry; r != nil {
+		verdict := "invariant"
+		if v.Variant {
+			verdict = "variant"
+		}
+		r.Counter(MetricFSVerdicts, "verdict", verdict).Inc()
+	}
+	if o.Search != nil {
+		o.Search.Verdict(v)
+	}
+}

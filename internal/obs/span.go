@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is the immutable record a finished span emits to its Sink.
+type SpanData struct {
+	ID       uint64            `json:"id"`
+	ParentID uint64            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"durationNs"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Sink receives finished spans. Implementations must be safe for
+// concurrent use. A nil Sink disables tracing entirely (the no-op
+// default): Observer.StartSpan then returns nil and every Span method on
+// that nil span is a no-op, so the disabled path costs one pointer check.
+type Sink interface {
+	Emit(SpanData)
+}
+
+// spanIDs is the process-wide span ID source.
+var spanIDs atomic.Uint64
+
+// Span is one timed phase of the pipeline. Spans form a hierarchy via
+// Child. All methods are nil-safe.
+type Span struct {
+	sink   Sink
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	attrs  map[string]string
+	done   bool
+}
+
+func startSpan(sink Sink, parent uint64, name string) *Span {
+	if sink == nil {
+		return nil
+	}
+	return &Span{
+		sink:   sink,
+		id:     spanIDs.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Child starts a sub-span sharing this span's sink.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return startSpan(s.sink, s.id, name)
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End finishes the span and emits it to the sink. Repeated calls are
+// ignored, so `defer sp.End()` composes with early explicit ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.sink.Emit(SpanData{
+		ID:       s.id,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    attrs,
+	})
+}
+
+// JSONLinesSink writes one JSON object per finished span, suitable for
+// appending to a trace log file.
+type JSONLinesSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLinesSink wraps w; writes are serialized internally.
+func NewJSONLinesSink(w io.Writer) *JSONLinesSink {
+	return &JSONLinesSink{w: w}
+}
+
+// Emit implements Sink.
+func (s *JSONLinesSink) Emit(sp SpanData) {
+	line, err := json.Marshal(sp)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	_, _ = s.w.Write(line)
+	s.mu.Unlock()
+}
+
+// MemorySink collects finished spans in memory, for tests and inspection.
+type MemorySink struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewMemorySink creates an empty collector.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(sp SpanData) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+}
+
+// Spans returns a copy of everything collected so far.
+func (s *MemorySink) Spans() []SpanData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanData(nil), s.spans...)
+}
+
+// Find returns the first collected span with the given name.
+func (s *MemorySink) Find(name string) (SpanData, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sp := range s.spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return SpanData{}, false
+}

@@ -36,6 +36,7 @@ import (
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
 	"netdrift/internal/monitor"
+	"netdrift/internal/obs"
 )
 
 // Core pipeline types (see internal/core).
@@ -142,3 +143,29 @@ func NewDriftDetector(cfg DriftConfig) *DriftDetector { return monitor.New(cfg) 
 // scaler, the variant/invariant split, and the trained generator weights —
 // so the inference path can be deployed without refitting.
 func LoadAdapter(r io.Reader) (*Adapter, error) { return core.LoadAdapter(r) }
+
+// Observability types (see internal/obs): set AdapterConfig.Obs (or
+// DriftConfig.Obs) to light up metrics, span tracing, and training hooks
+// across the pipeline. A nil Observer keeps every instrumented path at its
+// uninstrumented cost and produces byte-identical adaptation results.
+type (
+	// Observer bundles a metrics registry, a span sink, and typed hooks.
+	Observer = obs.Observer
+	// Metrics is the concurrency-safe registry behind Observer.Registry;
+	// it renders Prometheus text format and is mountable as a /metrics
+	// http.Handler.
+	Metrics = obs.Registry
+	// SpanSink receives finished trace spans.
+	SpanSink = obs.Sink
+	// TrainHook observes per-epoch reconstructor losses.
+	TrainHook = obs.TrainHook
+	// SearchHook observes CI tests and per-feature verdicts from FS.
+	SearchHook = obs.SearchHook
+)
+
+// NewObserver creates an Observer with a fresh metrics registry and no
+// span sink.
+func NewObserver() *Observer { return obs.New() }
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
