@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+
+	"netdrift/internal/causal"
+	"netdrift/internal/experiments"
+	"netdrift/internal/mat"
+	"netdrift/internal/obs"
+)
+
+// benchStageMetric accumulates per-stage wall time in the run's observer so
+// the -http endpoint and -json snapshot expose the benchmark like any other
+// pipeline stage.
+const benchStageMetric = "netdrift_bench_stage_seconds"
+
+// benchReport is the BENCH_parallel.json artifact: sequential vs parallel
+// wall time per pipeline stage, plus a bit-identical verdict for each.
+type benchReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Scale      string       `json:"scale"`
+	Seed       int64        `json:"seed"`
+	Stages     []benchStage `json:"stages"`
+}
+
+type benchStage struct {
+	Name         string  `json:"name"`
+	SeqSeconds   float64 `json:"seq_seconds"`
+	ParSeconds   float64 `json:"par_seconds"`
+	Speedup      float64 `json:"speedup"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// benchConfig carries the shared flag values into the -bench runner.
+type benchConfig struct {
+	Workers   int
+	Scale     experiments.Scale
+	ScaleName string
+	Seed      int64
+	Shots     []int
+	Repeats   int
+	Methods   []string
+	Progress  func(string)
+	Out       string
+}
+
+// runBench measures each parallel stage (matrix multiply, covariance, the
+// FS causal search, and a Table I cell grid) with Workers=1 against
+// Workers=N, verifies the outputs are bit-identical, and writes the
+// benchReport JSON. On a single-core machine the speedups honestly hover
+// around 1.0; the determinism verdicts still hold.
+func runBench(out io.Writer, observer *obs.Observer, cfg benchConfig) error {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Scale:      cfg.ScaleName,
+		Seed:       cfg.Seed,
+	}
+	// Kernel problem sizes scale with the -scale flag so "quick" stays
+	// test-friendly while "bench"/"full" exercise real arithmetic volume.
+	dim := 384
+	switch cfg.ScaleName {
+	case "quick":
+		dim = 96
+	case "full":
+		dim = 768
+	}
+
+	timed := func(stage, mode string, fn func() error) (float64, error) {
+		done := observer.Time(benchStageMetric, "stage", stage, "mode", mode)
+		err := fn()
+		done()
+		if err != nil {
+			return 0, fmt.Errorf("bench %s (%s): %w", stage, mode, err)
+		}
+		h := observer.Registry.Histogram(benchStageMetric, "stage", stage, "mode", mode)
+		return h.Sum(), nil
+	}
+	addStage := func(name string, seqFn, parFn func() error, identical func() bool) error {
+		seqS, err := timed(name, "seq", seqFn)
+		if err != nil {
+			return err
+		}
+		parS, err := timed(name, "par", parFn)
+		if err != nil {
+			return err
+		}
+		st := benchStage{Name: name, SeqSeconds: seqS, ParSeconds: parS, BitIdentical: identical()}
+		if parS > 0 {
+			st.Speedup = seqS / parS
+		}
+		rep.Stages = append(rep.Stages, st)
+		fmt.Fprintf(out, "%-12s seq %.3fs  par(%d) %.3fs  speedup %.2fx  bit-identical %v\n",
+			name, st.SeqSeconds, workers, st.ParSeconds, st.Speedup, st.BitIdentical)
+		return nil
+	}
+
+	// Stage 1: dense matrix multiply.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	randMat := func(rows, cols int) *mat.Matrix {
+		m := mat.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return m
+	}
+	a, b := randMat(dim, dim), randMat(dim, dim)
+	var mulSeq, mulPar *mat.Matrix
+	if err := addStage("matmul",
+		func() (err error) { mulSeq, err = mat.MulWorkers(a, b, 1); return },
+		func() (err error) { mulPar, err = mat.MulWorkers(a, b, workers); return },
+		func() bool { return matEqual(mulSeq, mulPar) },
+	); err != nil {
+		return err
+	}
+
+	// Stage 2: covariance of a tall sample matrix.
+	x := randMat(8*dim, dim/2)
+	var covSeq, covPar *mat.Matrix
+	if err := addStage("covariance",
+		func() (err error) { covSeq, err = mat.CovarianceWorkers(x, 1); return },
+		func() (err error) { covPar, err = mat.CovarianceWorkers(x, workers); return },
+		func() bool { return matEqual(covSeq, covPar) },
+	); err != nil {
+		return err
+	}
+
+	// Stage 3: the FS causal search on a synthetic 5GC drift pair.
+	pair, err := experiments.MakePair("5gc", cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	drawRng := rand.New(rand.NewSource(cfg.Seed + 977))
+	shot := cfg.Shots[0]
+	support, _, err := pair.TargetTrain.FewShot(shot, pair.UseGroups, drawRng)
+	if err != nil {
+		return err
+	}
+	var fsSeq, fsPar *causal.FNodeResult
+	if err := addStage("fs_search",
+		func() (err error) {
+			fsSeq, err = causal.FindVariantFeatures(pair.Source.X, support.X, causal.FNodeConfig{Workers: 1})
+			return
+		},
+		func() (err error) {
+			fsPar, err = causal.FindVariantFeatures(pair.Source.X, support.X, causal.FNodeConfig{Workers: workers})
+			return
+		},
+		func() bool { return reflect.DeepEqual(fsSeq, fsPar) },
+	); err != nil {
+		return err
+	}
+
+	// Stage 4: a Table I cell grid (the experiment worker pool).
+	t1 := func(w int) (*experiments.Table1Result, error) {
+		return experiments.RunTable1(experiments.Table1Config{
+			Dataset: "5gc", Shots: cfg.Shots, Repeats: cfg.Repeats,
+			Seed: cfg.Seed, Scale: cfg.Scale, Methods: cfg.Methods,
+			Workers: w, Progress: cfg.Progress, Obs: observer,
+		})
+	}
+	var t1Seq, t1Par *experiments.Table1Result
+	if err := addStage("table1_cells",
+		func() (err error) { t1Seq, err = t1(1); return },
+		func() (err error) { t1Par, err = t1(workers); return },
+		func() bool {
+			sb, err1 := json.Marshal(t1Seq)
+			pb, err2 := json.Marshal(t1Par)
+			return err1 == nil && err2 == nil && string(sb) == string(pb)
+		},
+	); err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfg.Out, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("-bench-out write: %w", err)
+	}
+	fmt.Fprintf(out, "benchmark report written to %s\n", cfg.Out)
+	return nil
+}
+
+// matEqual reports exact bit equality of two matrices, distinguishing
+// -0.0 from +0.0 (NaNs never occur in these kernels' outputs).
+func matEqual(a, b *mat.Matrix) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < ac; j++ {
+			av, bv := a.At(i, j), b.At(i, j)
+			if av != bv {
+				return false
+			}
+			if av == 0 && 1/av != 1/bv {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -10,7 +10,16 @@
 //	driftbench -exp all                            # everything, both datasets
 //
 // -scale quick|bench|full trades fidelity for wall-clock time (see
-// internal/experiments.Scale).
+// internal/experiments.Scale). -workers N bounds the parallel compute
+// layer (0 = all cores, 1 = sequential) without changing any result bit.
+//
+// Benchmarking:
+//
+//	driftbench -bench                              # sequential vs parallel
+//	                                               # stage timings + the
+//	                                               # bit-identical verdicts,
+//	                                               # written to
+//	                                               # BENCH_parallel.json
 //
 // Observability:
 //
@@ -70,6 +79,9 @@ func run(args []string, out io.Writer) error {
 		repeats  = fs.Int("repeats", 3, "few-shot draws averaged per cell")
 		seed     = fs.Int64("seed", 1, "base RNG seed")
 		methods  = fs.String("methods", "", "comma-separated Table I method filter (empty = all)")
+		workers  = fs.Int("workers", 0, "parallel workers for experiment cells and kernels (0 = all cores, 1 = sequential; results are bit-identical either way)")
+		bench    = fs.Bool("bench", false, "measure sequential vs parallel stage wall time and write a speedup report instead of running an experiment")
+		benchOut = fs.String("bench-out", "BENCH_parallel.json", "output path for the -bench report")
 		verbose  = fs.Bool("v", false, "print per-cell progress")
 		httpAddr = fs.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address while running (e.g. :9090)")
 		jsonPath = fs.String("json", "", "write a machine-readable JSON run report to this file")
@@ -130,6 +142,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
+	if *bench {
+		if err := runBench(out, observer, benchConfig{
+			Workers: *workers, Scale: sc, ScaleName: *scale, Seed: *seed,
+			Shots: shotList, Repeats: *repeats, Methods: filter,
+			Progress: progress, Out: *benchOut,
+		}); err != nil {
+			return err
+		}
+		if serveAddr != "" && scrapeForTest != nil {
+			scrapeForTest(serveAddr)
+		}
+		return nil
+	}
+
 	results := make(map[string]any)
 	runOne := func(kind, dataset string) error {
 		key := kind
@@ -140,8 +166,8 @@ func run(args []string, out io.Writer) error {
 		case "table1":
 			res, err := experiments.RunTable1(experiments.Table1Config{
 				Dataset: dataset, Shots: shotList, Repeats: *repeats,
-				Seed: *seed, Scale: sc, Methods: filter, Progress: progress,
-				Obs: observer,
+				Seed: *seed, Scale: sc, Methods: filter, Workers: *workers,
+				Progress: progress, Obs: observer,
 			})
 			if err != nil {
 				return err
@@ -151,7 +177,8 @@ func run(args []string, out io.Writer) error {
 		case "table2":
 			res, err := experiments.RunTable2(experiments.Table2Config{
 				Dataset: dataset, Shots: shotList, Repeats: *repeats,
-				Seed: *seed, Scale: sc, Progress: progress, Obs: observer,
+				Seed: *seed, Scale: sc, Workers: *workers,
+				Progress: progress, Obs: observer,
 			})
 			if err != nil {
 				return err
@@ -161,7 +188,7 @@ func run(args []string, out io.Writer) error {
 		case "table3":
 			res, err := experiments.RunTable3(experiments.Table3Config{
 				Shots: shotList, Repeats: *repeats, Seed: *seed, Scale: sc,
-				Progress: progress, Obs: observer,
+				Workers: *workers, Progress: progress, Obs: observer,
 			})
 			if err != nil {
 				return err
@@ -171,7 +198,8 @@ func run(args []string, out io.Writer) error {
 		case "sensitivity":
 			res, err := experiments.RunVariantCounts(experiments.SensitivityConfig{
 				Dataset: dataset, Shots: shotList, Repeats: *repeats,
-				Seed: *seed, Scale: sc, Progress: progress, Obs: observer,
+				Seed: *seed, Scale: sc, Workers: *workers,
+				Progress: progress, Obs: observer,
 			})
 			if err != nil {
 				return err
@@ -185,7 +213,7 @@ func run(args []string, out io.Writer) error {
 			}
 			res, err := experiments.RunVariance(experiments.SensitivityConfig{
 				Dataset: dataset, Repeats: *repeats, Seed: *seed, Scale: sc,
-				Progress: progress, Obs: observer,
+				Workers: *workers, Progress: progress, Obs: observer,
 			}, shot)
 			if err != nil {
 				return err

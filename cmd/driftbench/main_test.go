@@ -12,6 +12,50 @@ import (
 	"testing"
 )
 
+// TestRunBenchMode drives the -bench speedup report end to end on the
+// quick scale: every stage must verify bit-identical sequential/parallel
+// outputs and the JSON artifact must round-trip.
+func TestRunBenchMode(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-bench", "-bench-out", outPath, "-scale", "quick",
+		"-shots", "1", "-repeats", "1", "-methods", "SrcOnly", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v", err)
+	}
+	if rep.GOMAXPROCS < 1 || rep.Workers < 1 {
+		t.Errorf("bench header gomaxprocs=%d workers=%d", rep.GOMAXPROCS, rep.Workers)
+	}
+	want := []string{"matmul", "covariance", "fs_search", "table1_cells"}
+	if len(rep.Stages) != len(want) {
+		t.Fatalf("got %d stages; want %d:\n%s", len(rep.Stages), len(want), blob)
+	}
+	for i, st := range rep.Stages {
+		if st.Name != want[i] {
+			t.Errorf("stage %d = %q; want %q", i, st.Name, want[i])
+		}
+		if !st.BitIdentical {
+			t.Errorf("stage %s: parallel output not bit-identical to sequential", st.Name)
+		}
+		if st.SeqSeconds <= 0 || st.ParSeconds <= 0 {
+			t.Errorf("stage %s: non-positive timings %+v", st.Name, st)
+		}
+	}
+	if !strings.Contains(buf.String(), "benchmark report written to") {
+		t.Errorf("stdout missing report banner:\n%s", buf.String())
+	}
+}
+
 func TestParseShots(t *testing.T) {
 	tests := []struct {
 		in      string

@@ -1,0 +1,26 @@
+package causal
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkFindVariantFeatures measures the FS search — the paper's
+// running-time driver (§VI-D) — sequential vs all-cores:
+//
+//	go test -bench FindVariantFeatures -benchtime 1x ./internal/causal
+func BenchmarkFindVariantFeatures(b *testing.B) {
+	source, target := driftedData(1200, 192, 64, 1)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := FindVariantFeatures(source, target, FNodeConfig{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Tests), "ci_tests")
+			}
+		})
+	}
+}

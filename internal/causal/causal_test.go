@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"netdrift/internal/dataset"
@@ -322,13 +323,26 @@ func TestPCSkeletonIndependent(t *testing.T) {
 }
 
 func TestSubsetsUpTo(t *testing.T) {
-	got := subsetsUpTo([]int{1, 2, 3}, 2)
-	// 3 singletons + 3 pairs.
-	if len(got) != 6 {
-		t.Errorf("subsets = %v; want 6 sets", got)
+	var got [][]int
+	subsetsUpTo([]int{1, 2, 3}, 2, func(cond []int) bool {
+		got = append(got, append([]int(nil), cond...))
+		return true
+	})
+	// 3 singletons + 3 pairs, sizes ascending, lexicographic within a size.
+	want := [][]int{{1}, {2}, {3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("subsets = %v; want %v", got, want)
 	}
-	if len(subsetsUpTo(nil, 2)) != 0 {
+	n := 0
+	subsetsUpTo(nil, 2, func([]int) bool { n++; return true })
+	if n != 0 {
 		t.Error("empty pool should have no subsets")
+	}
+	// Lazy enumeration must stop as soon as yield returns false.
+	n = 0
+	subsetsUpTo([]int{1, 2, 3, 4, 5}, 3, func([]int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("enumeration continued after stop: %d yields", n)
 	}
 }
 

@@ -83,11 +83,26 @@ func NewCITester(x [][]float64) (*CITester, error) {
 	if len(x) < 4 {
 		return nil, fmt.Errorf("%w: need >= 4 samples, have %d", ErrNoData, len(x))
 	}
-	corr, err := CorrMatrix(x)
+	m, err := mat.FromRows(x)
 	if err != nil {
 		return nil, err
 	}
-	return &CITester{corr: corr, n: len(x)}, nil
+	return NewCITesterMatrix(m, 1)
+}
+
+// NewCITesterMatrix precomputes the correlation structure of a sample
+// matrix (rows = samples) without the [][]float64 conversion, using up to
+// workers goroutines for the covariance accumulation. The correlation
+// matrix is bit-identical for every worker count.
+func NewCITesterMatrix(x *mat.Matrix, workers int) (*CITester, error) {
+	if x.Rows() < 4 {
+		return nil, fmt.Errorf("%w: need >= 4 samples, have %d", ErrNoData, x.Rows())
+	}
+	cov, err := mat.CovarianceWorkers(x, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &CITester{corr: mat.CorrelationFromCov(cov), n: x.Rows()}, nil
 }
 
 // PValue returns the Fisher-z two-sided p-value for the hypothesis

@@ -2,9 +2,12 @@ package causal
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"netdrift/internal/mat"
 	"netdrift/internal/obs"
+	"netdrift/internal/par"
 )
 
 // FNodeConfig tunes the F-node variant-feature search.
@@ -29,6 +32,14 @@ type FNodeConfig struct {
 	// MarginalOnly skips the conditioning stage entirely — the behaviour of
 	// weaker invariance baselines such as ICD in our setting.
 	MarginalOnly bool
+	// Workers bounds the goroutines used by the search: the pooled
+	// covariance, the marginal fan-out across features, and the conditional
+	// fan-out across candidates (with speculative subset evaluation when
+	// candidates are scarce). <= 0 means runtime.GOMAXPROCS(0); 1 forces
+	// the exact sequential path. The FNodeResult — Variant, Invariant,
+	// MarginalP, and the Tests count — and the Obs event stream are
+	// identical for every value (see DESIGN.md, "Determinism contract").
+	Workers int
 	// Obs, when non-nil, receives one event per CI test (with its
 	// conditioning-set size) and one verdict per feature. Never serialized.
 	Obs *obs.Observer `json:"-"`
@@ -58,7 +69,9 @@ type FNodeResult struct {
 	// MarginalP holds each feature's marginal p-value against the F-node.
 	MarginalP []float64
 	// Tests counts every CI test the search ran (marginal + conditional) —
-	// the paper's running-time driver (§VI-D).
+	// the paper's running-time driver (§VI-D). Speculative tests evaluated
+	// by the parallel search beyond the first exonerating conditioning set
+	// are not counted, so the value matches the sequential search exactly.
 	Tests int
 }
 
@@ -73,8 +86,15 @@ type FNodeResult struct {
 //     intervention on X itself.
 //  3. Features never exonerated are the intervention targets: the
 //     domain-variant features R with P_A(R|Pa(R)) ≠ P_C(R|Pa(R)).
+//
+// The marginal tests fan out across features and the conditional stage fans
+// out across candidates, bounded by cfg.Workers. Exoneration is decided by
+// the first conditioning set in enumeration order whose test clears the
+// threshold (first-exoneration-wins), regardless of which worker finished
+// first, so results are bit-identical to the sequential search.
 func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeResult, error) {
 	cfg.applyDefaults()
+	workers := par.Resolve(cfg.Workers)
 	if len(source) == 0 || len(target) == 0 {
 		return nil, fmt.Errorf("%w: source %d, target %d rows", ErrNoData, len(source), len(target))
 	}
@@ -83,20 +103,11 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 		return nil, fmt.Errorf("causal: width mismatch source %d target %d", d, len(target[0]))
 	}
 
-	// Pooled dataset with the F-node as column d.
-	pooled := make([][]float64, 0, len(source)+len(target))
-	for _, row := range source {
-		r := make([]float64, d+1)
-		copy(r, row)
-		pooled = append(pooled, r)
+	pooled, err := pooledFNodeMatrix(source, target, d)
+	if err != nil {
+		return nil, err
 	}
-	for _, row := range target {
-		r := make([]float64, d+1)
-		copy(r, row)
-		r[d] = 1
-		pooled = append(pooled, r)
-	}
-	tester, err := NewCITester(pooled)
+	tester, err := NewCITesterMatrix(pooled, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -104,12 +115,22 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 
 	cfg.Obs.Counter(obs.MetricFSSearches).Inc()
 	res := &FNodeResult{MarginalP: make([]float64, d)}
+
+	// Stage 1 — marginal fan-out across features. P-values are computed in
+	// parallel; counters, verdicts, and Obs events are then emitted in
+	// feature order so the result and the event stream match the
+	// sequential search.
+	marg := make([]float64, d)
+	margErr := make([]error, d)
+	par.ForEach(workers, d, func(x int) {
+		marg[x], margErr[x] = tester.PValue(x, fNode, nil)
+	})
 	var candidates []int
 	for x := 0; x < d; x++ {
-		p, err := tester.PValue(x, fNode, nil)
-		if err != nil {
-			return nil, fmt.Errorf("causal: marginal test feature %d: %w", x, err)
+		if margErr[x] != nil {
+			return nil, fmt.Errorf("causal: marginal test feature %d: %w", x, margErr[x])
 		}
+		p := marg[x]
 		res.Tests++
 		cfg.Obs.OnCITest(obs.CITest{X: x, Y: fNode, CondSize: 0, P: p})
 		res.MarginalP[x] = p
@@ -121,30 +142,37 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 		}
 	}
 
-	for _, x := range candidates {
-		exonerated := false
-		if !cfg.MarginalOnly {
-			neighbors := topNeighbors(tester, x, fNode, cfg.MaxNeighbors)
-			for _, cond := range subsetsUpTo(neighbors, cfg.MaxOrder) {
-				p, err := tester.PValue(x, fNode, cond)
-				if err != nil {
-					return nil, fmt.Errorf("causal: conditional test feature %d: %w", x, err)
-				}
-				res.Tests++
-				cfg.Obs.OnCITest(obs.CITest{X: x, Y: fNode, CondSize: len(cond), P: p})
-				if p >= cfg.ExonerationAlpha {
-					exonerated = true
-					break
-				}
-			}
+	// Stage 2 — conditional fan-out across candidates. Each candidate's
+	// counted tests are buffered and emitted in candidate order afterwards.
+	// When candidates are scarcer than workers, each candidate evaluates
+	// its conditioning sets speculatively in chunks; only the tests a
+	// sequential scan would have run are kept.
+	outcomes := make([]condOutcome, len(candidates))
+	if !cfg.MarginalOnly && len(candidates) > 0 {
+		innerWorkers := 1
+		if len(candidates) < workers {
+			innerWorkers = workers
 		}
-		if exonerated {
+		par.ForEach(workers, len(candidates), func(ci int) {
+			outcomes[ci] = evalConditionals(tester, candidates[ci], fNode, cfg, innerWorkers)
+		})
+	}
+	for ci, x := range candidates {
+		oc := outcomes[ci]
+		for _, tst := range oc.tests {
+			res.Tests++
+			cfg.Obs.OnCITest(tst)
+		}
+		if oc.err != nil {
+			return nil, fmt.Errorf("causal: conditional test feature %d: %w", x, oc.err)
+		}
+		if oc.exonerated {
 			res.Invariant = append(res.Invariant, x)
 		} else {
 			res.Variant = append(res.Variant, x)
 		}
 		cfg.Obs.OnVerdict(obs.FeatureVerdict{
-			Feature: x, Variant: !exonerated, Exonerated: exonerated, MarginalP: res.MarginalP[x],
+			Feature: x, Variant: !oc.exonerated, Exonerated: oc.exonerated, MarginalP: res.MarginalP[x],
 		})
 	}
 	sort.Ints(res.Variant)
@@ -152,57 +180,182 @@ func FindVariantFeatures(source, target [][]float64, cfg FNodeConfig) (*FNodeRes
 	return res, nil
 }
 
-// topNeighbors returns the k features most correlated with x (excluding x
-// itself and the F-node), as candidate members of Pa(x).
-func topNeighbors(t *CITester, x, fNode, k int) []int {
-	type scored struct {
-		idx int
-		r   float64
+// pooledFNodeMatrix assembles the pooled source+target dataset with the
+// F-node (domain indicator) as the final column, in one backing allocation
+// instead of one per row.
+func pooledFNodeMatrix(source, target [][]float64, d int) (*mat.Matrix, error) {
+	w := d + 1
+	n := len(source) + len(target)
+	data := make([]float64, n*w)
+	for i, row := range source {
+		copy(data[i*w:i*w+d], row)
 	}
+	base := len(source) * w
+	for i, row := range target {
+		off := base + i*w
+		copy(data[off:off+d], row)
+		data[off+d] = 1
+	}
+	return mat.Wrap(n, w, data)
+}
+
+// condOutcome is one candidate's conditional-stage result: whether some
+// conditioning set exonerated it, and the CI tests a sequential scan would
+// have counted (in enumeration order, ending at the first exoneration or
+// error).
+type condOutcome struct {
+	exonerated bool
+	tests      []obs.CITest
+	err        error
+}
+
+// evalConditionals scans the candidate's conditioning sets for an
+// exonerating one. With workers <= 1 the scan is strictly sequential with
+// early exit; otherwise chunks of sets are evaluated speculatively in
+// parallel and resolved in enumeration order, which yields the identical
+// outcome and test count.
+func evalConditionals(t *CITester, x, fNode int, cfg FNodeConfig, workers int) condOutcome {
+	neighbors := topNeighbors(t, x, fNode, cfg.MaxNeighbors)
+	if workers <= 1 {
+		return evalConditionalsSeq(t, x, fNode, neighbors, cfg)
+	}
+	return evalConditionalsChunked(t, x, fNode, neighbors, cfg, workers)
+}
+
+func evalConditionalsSeq(t *CITester, x, fNode int, neighbors []int, cfg FNodeConfig) condOutcome {
+	var oc condOutcome
+	subsetsUpTo(neighbors, cfg.MaxOrder, func(cond []int) bool {
+		p, err := t.PValue(x, fNode, cond)
+		if err != nil {
+			oc.err = err
+			return false
+		}
+		oc.tests = append(oc.tests, obs.CITest{X: x, Y: fNode, CondSize: len(cond), P: p})
+		if p >= cfg.ExonerationAlpha {
+			oc.exonerated = true
+			return false
+		}
+		return true
+	})
+	return oc
+}
+
+func evalConditionalsChunked(t *CITester, x, fNode int, neighbors []int, cfg FNodeConfig, workers int) condOutcome {
+	var oc condOutcome
+	chunkSize := 2 * workers
+	chunk := make([][]int, 0, chunkSize)
+	ps := make([]float64, chunkSize)
+	errs := make([]error, chunkSize)
+
+	// flush evaluates the buffered sets in parallel, then resolves them in
+	// enumeration order: the first exoneration or error terminates the scan
+	// and the speculative results past it are discarded — exactly what the
+	// sequential scan would have computed and counted.
+	flush := func() (terminal bool) {
+		par.ForEach(workers, len(chunk), func(i int) {
+			ps[i], errs[i] = t.PValue(x, fNode, chunk[i])
+		})
+		for i := range chunk {
+			if errs[i] != nil {
+				oc.err = errs[i]
+				return true
+			}
+			oc.tests = append(oc.tests, obs.CITest{X: x, Y: fNode, CondSize: len(chunk[i]), P: ps[i]})
+			if ps[i] >= cfg.ExonerationAlpha {
+				oc.exonerated = true
+				return true
+			}
+		}
+		chunk = chunk[:0]
+		return false
+	}
+
+	done := false
+	subsetsUpTo(neighbors, cfg.MaxOrder, func(cond []int) bool {
+		chunk = append(chunk, append([]int(nil), cond...))
+		if len(chunk) == chunkSize {
+			done = flush()
+			return !done
+		}
+		return true
+	})
+	if !done && len(chunk) > 0 {
+		flush()
+	}
+	return oc
+}
+
+// topNeighbors returns the k features most strongly correlated with x
+// (excluding x itself and the F-node) as candidate members of Pa(x), via a
+// single partial top-k selection pass — O(d·k) instead of a full O(d log d)
+// sort. Ties on |r| break toward the lower feature index, making the
+// neighbor order fully deterministic.
+func topNeighbors(t *CITester, x, fNode, k int) []int {
 	d := fNode // features are 0..fNode-1
-	all := make([]scored, 0, d-1)
+	if k > d-1 {
+		k = d - 1
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, k)
+	rs := make([]float64, 0, k)
 	for j := 0; j < d; j++ {
 		if j == x {
 			continue
 		}
-		r := t.corr.At(x, j)
-		if r < 0 {
-			r = -r
+		r := math.Abs(t.corr.At(x, j))
+		if len(idx) == k && r <= rs[k-1] {
+			continue
 		}
-		all = append(all, scored{idx: j, r: r})
+		// Strictly-greater insertion keeps earlier (lower) indices ahead of
+		// later ones on equal |r|.
+		pos := len(rs)
+		for pos > 0 && r > rs[pos-1] {
+			pos--
+		}
+		if len(idx) < k {
+			idx = append(idx, 0)
+			rs = append(rs, 0)
+		}
+		copy(idx[pos+1:], idx[pos:])
+		copy(rs[pos+1:], rs[pos:])
+		idx[pos] = j
+		rs[pos] = r
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a].r > all[b].r })
-	if k > len(all) {
-		k = len(all)
-	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].idx
-	}
-	return out
+	return idx
 }
 
-// subsetsUpTo enumerates all non-empty subsets of items with size <=
-// maxSize, smallest first.
-func subsetsUpTo(items []int, maxSize int) [][]int {
-	var out [][]int
+// subsetsUpTo invokes yield for every non-empty subset of items with size
+// <= maxSize — sizes ascending, lexicographic by position within a size,
+// the order the previous materializing implementation produced. Enumeration
+// is lazy: it stops as soon as yield returns false, so a scan that
+// exonerates on the first conditioning set allocates nothing beyond the
+// shared buffer. The slice passed to yield is reused between calls and must
+// not be retained.
+func subsetsUpTo(items []int, maxSize int, yield func(cond []int) bool) {
 	n := len(items)
 	if maxSize > n {
 		maxSize = n
 	}
-	var rec func(start int, cur []int)
+	buf := make([]int, 0, maxSize)
 	for size := 1; size <= maxSize; size++ {
-		size := size
-		rec = func(start int, cur []int) {
-			if len(cur) == size {
-				out = append(out, append([]int(nil), cur...))
-				return
-			}
-			for i := start; i < n; i++ {
-				rec(i+1, append(cur, items[i]))
-			}
+		if !yieldSubsets(items, size, 0, buf, yield) {
+			return
 		}
-		rec(0, nil)
 	}
-	return out
+}
+
+// yieldSubsets extends cur with elements of items[start:] up to size and
+// reports whether enumeration should continue.
+func yieldSubsets(items []int, size, start int, cur []int, yield func([]int) bool) bool {
+	if len(cur) == size {
+		return yield(cur)
+	}
+	for i := start; i < len(items); i++ {
+		if !yieldSubsets(items, size, i+1, append(cur, items[i]), yield) {
+			return false
+		}
+	}
+	return true
 }

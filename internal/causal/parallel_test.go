@@ -1,0 +1,160 @@
+package causal
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"netdrift/internal/obs"
+)
+
+// driftedData synthesizes a correlated source domain and a target domain
+// whose last few columns are shifted (soft interventions), so the search
+// has real marginal candidates, exonerations, and variant verdicts.
+func driftedData(nSrc, nTgt, d int, seed int64) (source, target [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(n int, drift bool) [][]float64 {
+		rows := make([][]float64, n)
+		for i := range rows {
+			row := make([]float64, d)
+			base := rng.NormFloat64()
+			for j := 0; j < d; j++ {
+				row[j] = 0.6*base + rng.NormFloat64()
+				if drift && j >= d-d/3 {
+					row[j] += 1.5 // shifted block: the true variant features
+				}
+			}
+			rows[i] = row
+		}
+		return rows
+	}
+	return gen(nSrc, false), gen(nTgt, true)
+}
+
+// eventRecorder captures the typed search hooks so the exact event stream
+// can be compared between sequential and parallel runs.
+type eventRecorder struct {
+	tests    []obs.CITest
+	verdicts []obs.FeatureVerdict
+}
+
+func (r *eventRecorder) CITest(t obs.CITest)          { r.tests = append(r.tests, t) }
+func (r *eventRecorder) Verdict(v obs.FeatureVerdict) { r.verdicts = append(r.verdicts, v) }
+
+func runSearch(t *testing.T, source, target [][]float64, workers int) (*FNodeResult, *eventRecorder) {
+	t.Helper()
+	rec := &eventRecorder{}
+	res, err := FindVariantFeatures(source, target, FNodeConfig{
+		Workers: workers,
+		Obs:     &obs.Observer{Search: rec},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+func TestFindVariantFeaturesParallelBitIdentical(t *testing.T) {
+	source, target := driftedData(300, 60, 24, 7)
+	seq, seqRec := runSearch(t, source, target, 1)
+	if len(seq.Variant) == 0 || len(seq.Invariant) == 0 {
+		t.Fatalf("degenerate fixture: variant=%v invariant=%v", seq.Variant, seq.Invariant)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par, parRec := runSearch(t, source, target, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: result differs from sequential:\nseq %+v\npar %+v", workers, seq, par)
+		}
+		if !reflect.DeepEqual(seqRec.tests, parRec.tests) {
+			t.Errorf("workers=%d: CI-test event stream differs (%d vs %d events)",
+				workers, len(seqRec.tests), len(parRec.tests))
+		}
+		if !reflect.DeepEqual(seqRec.verdicts, parRec.verdicts) {
+			t.Errorf("workers=%d: verdict stream differs", workers)
+		}
+	}
+}
+
+func TestFindVariantFeaturesWorkersZeroMeansAllCores(t *testing.T) {
+	source, target := driftedData(200, 50, 12, 3)
+	seq, _ := runSearch(t, source, target, 1)
+	auto, _ := runSearch(t, source, target, 0)
+	if !reflect.DeepEqual(seq, auto) {
+		t.Error("Workers=0 result differs from sequential")
+	}
+}
+
+func TestTopNeighborsMatchesSortReference(t *testing.T) {
+	source, target := driftedData(250, 50, 20, 11)
+	pooled, err := pooledFNodeMatrix(source, target, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := NewCITesterMatrix(pooled, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNode := 20
+	for _, k := range []int{1, 3, 5, 19, 50} {
+		for x := 0; x < 20; x++ {
+			got := topNeighbors(tester, x, fNode, k)
+			want := referenceTopNeighbors(tester, x, fNode, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("x=%d k=%d: topNeighbors = %v; want %v", x, k, got, want)
+			}
+		}
+	}
+}
+
+// referenceTopNeighbors is the straightforward full-sort implementation
+// with the same deterministic tie-break (|r| descending, index ascending).
+func referenceTopNeighbors(t *CITester, x, fNode, k int) []int {
+	type scored struct {
+		idx int
+		r   float64
+	}
+	var all []scored
+	for j := 0; j < fNode; j++ {
+		if j == x {
+			continue
+		}
+		r := t.corr.At(x, j)
+		if r < 0 {
+			r = -r
+		}
+		all = append(all, scored{j, r})
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].r > all[b].r })
+	if k > len(all) {
+		k = len(all)
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].idx
+	}
+	return out
+}
+
+func TestPooledFNodeMatrixLayout(t *testing.T) {
+	source := [][]float64{{1, 2}, {3, 4}}
+	target := [][]float64{{5, 6}}
+	m, err := pooledFNodeMatrix(source, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := m.Dims(); r != 3 || c != 3 {
+		t.Fatalf("dims = %dx%d; want 3x3", r, c)
+	}
+	want := [][]float64{{1, 2, 0}, {3, 4, 0}, {5, 6, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if m.At(i, j) != want[i][j] {
+				t.Errorf("pooled[%d][%d] = %v; want %v", i, j, m.At(i, j), want[i][j])
+			}
+		}
+	}
+}

@@ -45,6 +45,12 @@ type AdapterConfig struct {
 	GAN   GANConfig          // GAN/NoCond settings
 	VAE   VAEConfig          // VAE/VanillaAE settings
 	Seed  int64
+	// Workers bounds the goroutines used by the pipeline's parallel stages
+	// (today the FS causal search; see causal.FNodeConfig.Workers). It is
+	// propagated to the FS sub-config unless that already sets its own
+	// value. <= 0 means runtime.GOMAXPROCS(0); 1 forces the exact
+	// sequential path. Results are bit-identical for every value.
+	Workers int
 	// Obs, when non-nil, instruments the whole pipeline: Fit/TransformTarget
 	// latencies and spans, CI-test counters from the FS search, per-epoch
 	// reconstructor losses, and a reconstruction-error histogram. It is
@@ -74,6 +80,9 @@ func NewAdapter(cfg AdapterConfig) *Adapter {
 	}
 	if cfg.Recon == 0 {
 		cfg.Recon = ReconGAN
+	}
+	if cfg.FS.Workers == 0 {
+		cfg.FS.Workers = cfg.Workers
 	}
 	if cfg.Obs != nil {
 		// Light up the sub-stages with the pipeline observer unless the

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchBlocks synthesizes an invariant/variant split with a weak linear
+// relationship so one GAN epoch does representative work.
+func benchBlocks(n, dInv, dVar int, seed int64) (inv, vr [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	inv = make([][]float64, n)
+	vr = make([][]float64, n)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		inv[i] = make([]float64, dInv)
+		for j := range inv[i] {
+			inv[i][j] = rng.NormFloat64()
+		}
+		vr[i] = make([]float64, dVar)
+		for j := range vr[i] {
+			vr[i][j] = 0.5*inv[i][j%dInv] + 0.3*rng.NormFloat64()
+		}
+		y[i] = i % 4
+	}
+	return inv, vr, y
+}
+
+// BenchmarkGANEpoch times one conditional-GAN training epoch — the
+// dominant cost of Adapter.Fit in ModeFSRecon:
+//
+//	go test -bench GANEpoch -benchtime 1x ./internal/core
+func BenchmarkGANEpoch(b *testing.B) {
+	inv, vr, y := benchBlocks(512, 24, 12, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewCGAN(GANConfig{Epochs: 1, Seed: int64(i) + 1})
+		if err := g.Fit(inv, vr, y, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

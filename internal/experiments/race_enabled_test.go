@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets expensive grid tests shrink their workload when the
+// race detector multiplies runtime; the full grids run in the normal
+// (tier-1) suite.
+const raceEnabled = true

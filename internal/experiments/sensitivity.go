@@ -11,15 +11,20 @@ import (
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
 	"netdrift/internal/obs"
+	"netdrift/internal/par"
 )
 
 // SensitivityConfig drives the §VI-C analyses.
 type SensitivityConfig struct {
-	Dataset  string
-	Shots    []int // default {1, 5, 10}
-	Repeats  int   // default 3
-	Seed     int64
-	Scale    Scale
+	Dataset string
+	Shots   []int // default {1, 5, 10}
+	Repeats int   // default 3
+	Seed    int64
+	Scale   Scale
+	// Workers bounds concurrent evaluation of independent (shot, rep)
+	// cells; <= 0 means all cores, 1 forces the sequential path, and
+	// results are bit-identical for every value.
+	Workers  int
 	Progress func(string)
 	// Obs, when non-nil, instruments the FS searches and adapter runs.
 	Obs *obs.Observer
@@ -63,26 +68,47 @@ func RunVariantCounts(cfg SensitivityConfig) (*VariantCountResult, error) {
 		ICDCounts:   make(map[int]float64),
 		TrueVariant: trueCount,
 	}
+	// Shot-major cell grid, matching the historical loop nesting.
+	type vcCell struct{ shot, rep int }
+	type vcOut struct{ fs, icd float64 }
+	var cells []vcCell
+	for _, shot := range cfg.Shots {
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			cells = append(cells, vcCell{shot, rep})
+		}
+	}
+	workers := par.Resolve(cfg.Workers)
+	notify := lockedProgress(cfg.Progress, workers)
+	outs := make([]vcOut, len(cells))
+	if err := par.ForEachErr(workers, len(cells), func(ci int) error {
+		c := cells[ci]
+		drawRng := rand.New(rand.NewSource(cfg.Seed + int64(c.rep)*977 + int64(c.shot)))
+		support, _, err := pair.TargetTrain.FewShot(c.shot, pair.UseGroups, drawRng)
+		if err != nil {
+			return err
+		}
+		n, err := VariantCount(pair.Source, support, causal.FNodeConfig{Workers: 1, Obs: cfg.Obs})
+		if err != nil {
+			return err
+		}
+		icdN, err := baselines.ICD{}.VariantCount(pair.Source, support)
+		if err != nil {
+			return err
+		}
+		outs[ci] = vcOut{fs: float64(n), icd: float64(icdN)}
+		progress(notify, "%s shot=%d rep=%d FS=%d ICD=%d (truth %d)",
+			cfg.Dataset, c.shot, c.rep, n, icdN, trueCount)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for _, shot := range cfg.Shots {
 		var fsVals, icdVals []float64
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			drawRng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*977 + int64(shot)))
-			support, _, err := pair.TargetTrain.FewShot(shot, pair.UseGroups, drawRng)
-			if err != nil {
-				return nil, err
+		for ci, c := range cells {
+			if c.shot == shot {
+				fsVals = append(fsVals, outs[ci].fs)
+				icdVals = append(icdVals, outs[ci].icd)
 			}
-			n, err := VariantCount(pair.Source, support, causal.FNodeConfig{Obs: cfg.Obs})
-			if err != nil {
-				return nil, err
-			}
-			fsVals = append(fsVals, float64(n))
-			icdN, err := baselines.ICD{}.VariantCount(pair.Source, support)
-			if err != nil {
-				return nil, err
-			}
-			icdVals = append(icdVals, float64(icdN))
-			progress(cfg.Progress, "%s shot=%d rep=%d FS=%d ICD=%d (truth %d)",
-				cfg.Dataset, shot, rep, n, icdN, trueCount)
 		}
 		res.FSCounts[shot] = mean(fsVals)
 		res.ICDCounts[shot] = mean(icdVals)
@@ -136,27 +162,33 @@ func RunVariance(cfg SensitivityConfig, shot int) (*VarianceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	var vals []float64
-	for rep := 0; rep < cfg.Repeats; rep++ {
+	workers := par.Resolve(cfg.Workers)
+	notify := lockedProgress(cfg.Progress, workers)
+	vals := make([]float64, cfg.Repeats)
+	if err := par.ForEachErr(workers, cfg.Repeats, func(rep int) error {
 		drawRng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*977))
 		support, _, err := pair.TargetTrain.FewShot(shot, pair.UseGroups, drawRng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		seed := cfg.Seed + int64(rep)*7919
 		m := NewFSGAN(cfg.Scale.GANEpochs, seed)
 		m.Cfg.Obs = cfg.Obs
+		m.Cfg.Workers = 1 // the draw grid owns the parallelism
 		clf := models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
 		pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		f1, err := metrics.MacroF1Score(pair.TargetTest.Y, pred, pair.NumClasses)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vals = append(vals, f1)
-		progress(cfg.Progress, "%s variance draw %d: F1=%.1f", cfg.Dataset, rep, f1)
+		vals[rep] = f1
+		progress(notify, "%s variance draw %d: F1=%.1f", cfg.Dataset, rep, f1)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	m := mean(vals)
 	var ss float64

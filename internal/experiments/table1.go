@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"netdrift/internal/baselines"
 	"netdrift/internal/dataset"
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
 	"netdrift/internal/obs"
+	"netdrift/internal/par"
 )
 
 // Pair is one drifted dataset instance for the evaluation protocol.
@@ -77,7 +79,16 @@ type Table1Config struct {
 	Scale   Scale
 	// Methods filters by method name; empty runs the full Table I roster.
 	Methods []string
-	// Progress, when non-nil, receives one line per completed cell.
+	// Workers bounds concurrent evaluation of independent (rep, shot,
+	// method) cells. <= 0 means runtime.GOMAXPROCS(0); 1 forces the exact
+	// sequential path. Every cell owns its seeded RNGs and per-cell scores
+	// are merged in deterministic rep-major order, so the result is
+	// bit-identical for every value (see DESIGN.md, "Determinism
+	// contract"). Only Progress-line interleaving may differ.
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell. It may
+	// be called from multiple goroutines (never concurrently) when
+	// Workers != 1.
 	Progress func(string)
 	// Obs, when non-nil, instruments the run: per-method predict timers and
 	// the full adapter pipeline metrics for the "ours" rows.
@@ -194,6 +205,17 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		}
 	}
 
+	// Enumerate the independent (rep, shot, method) cells in the same
+	// rep-major nesting order as the historical sequential loops. Support
+	// draws stay sequential (each has its own seeded RNG anyway) and are
+	// shared by every method cell of the same (rep, shot), exactly as
+	// before.
+	type t1Cell struct {
+		rep, shot int
+		spec      methodSpec
+		support   *dataset.Dataset
+	}
+	var cells []t1Cell
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		for _, shot := range cfg.Shots {
 			drawRng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*977 + int64(shot)))
@@ -202,40 +224,71 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 				return nil, err
 			}
 			for _, spec := range roster {
-				seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
-				m := spec.build(cfg.Scale, seed)
-				if om, ok := m.(*OursMethod); ok {
-					om.Cfg.Obs = cfg.Obs
-				}
-				m = baselines.Instrument(m, cfg.Obs)
-				if m.ModelAgnostic() {
-					for _, kind := range models.AllKinds() {
-						clf, err := models.New(kind, models.Options{
-							Seed:   seed,
-							Epochs: cfg.Scale.ClassifierEpochs,
-							Trees:  cfg.Scale.Trees,
-						})
-						if err != nil {
-							return nil, err
-						}
-						f1, err := scoreMethod(m, pair, support, clf)
-						if err != nil {
-							return nil, fmt.Errorf("%s/%s shot=%d: %w", spec.name, kind, shot, err)
-						}
-						acc[spec.name][shot][kind.String()] = append(acc[spec.name][shot][kind.String()], f1)
-						progress(cfg.Progress, "%s %s/%s shot=%d rep=%d F1=%.1f",
-							cfg.Dataset, spec.name, kind, shot, rep, f1)
-					}
-				} else {
-					f1, err := scoreMethod(m, pair, support, nil)
-					if err != nil {
-						return nil, fmt.Errorf("%s shot=%d: %w", spec.name, shot, err)
-					}
-					acc[spec.name][shot]["*"] = append(acc[spec.name][shot]["*"], f1)
-					progress(cfg.Progress, "%s %s shot=%d rep=%d F1=%.1f",
-						cfg.Dataset, spec.name, shot, rep, f1)
-				}
+				cells = append(cells, t1Cell{rep, shot, spec, support})
 			}
+		}
+	}
+
+	workers := par.Resolve(cfg.Workers)
+	notify := lockedProgress(cfg.Progress, workers)
+	scores := make([]map[string]float64, len(cells))
+	if err := par.ForEachErr(workers, len(cells), func(ci int) error {
+		c := cells[ci]
+		seed := cfg.Seed + int64(c.rep)*7919 + int64(c.shot)*101
+		m := c.spec.build(cfg.Scale, seed)
+		if om, ok := m.(*OursMethod); ok {
+			om.Cfg.Obs = cfg.Obs
+			// The cell grid owns the parallelism; keep the in-cell FS
+			// search on its sequential path to avoid oversubscription.
+			om.Cfg.Workers = 1
+		}
+		m = baselines.Instrument(m, cfg.Obs)
+		out := make(map[string]float64)
+		if m.ModelAgnostic() {
+			for _, kind := range models.AllKinds() {
+				clf, err := models.New(kind, models.Options{
+					Seed:   seed,
+					Epochs: cfg.Scale.ClassifierEpochs,
+					Trees:  cfg.Scale.Trees,
+				})
+				if err != nil {
+					return err
+				}
+				f1, err := scoreMethod(m, pair, c.support, clf)
+				if err != nil {
+					return fmt.Errorf("%s/%s shot=%d: %w", c.spec.name, kind, c.shot, err)
+				}
+				out[kind.String()] = f1
+				progress(notify, "%s %s/%s shot=%d rep=%d F1=%.1f",
+					cfg.Dataset, c.spec.name, kind, c.shot, c.rep, f1)
+			}
+		} else {
+			f1, err := scoreMethod(m, pair, c.support, nil)
+			if err != nil {
+				return fmt.Errorf("%s shot=%d: %w", c.spec.name, c.shot, err)
+			}
+			out["*"] = f1
+			progress(notify, "%s %s shot=%d rep=%d F1=%.1f",
+				cfg.Dataset, c.spec.name, c.shot, c.rep, f1)
+		}
+		scores[ci] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Merge per-cell scores in cell (rep-major) order, classifiers in
+	// models.AllKinds() order, so every mean's float summation order
+	// matches the sequential path exactly.
+	for ci := range cells {
+		c := cells[ci]
+		for _, kind := range models.AllKinds() {
+			if v, ok := scores[ci][kind.String()]; ok {
+				acc[c.spec.name][c.shot][kind.String()] = append(acc[c.spec.name][c.shot][kind.String()], v)
+			}
+		}
+		if v, ok := scores[ci]["*"]; ok {
+			acc[c.spec.name][c.shot]["*"] = append(acc[c.spec.name][c.shot]["*"], v)
 		}
 	}
 
@@ -285,6 +338,21 @@ func filterRoster(roster []methodSpec, names []string) []methodSpec {
 func progress(fn func(string), format string, args ...any) {
 	if fn != nil {
 		fn(fmt.Sprintf(format, args...))
+	}
+}
+
+// lockedProgress wraps a Progress callback with a mutex so concurrent
+// experiment cells never invoke it at the same time. With one worker the
+// callback is returned untouched.
+func lockedProgress(fn func(string), workers int) func(string) {
+	if fn == nil || workers <= 1 {
+		return fn
+	}
+	var mu sync.Mutex
+	return func(s string) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(s)
 	}
 }
 

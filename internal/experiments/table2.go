@@ -5,19 +5,25 @@ import (
 	"math/rand"
 
 	"netdrift/internal/core"
+	"netdrift/internal/dataset"
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
 	"netdrift/internal/obs"
+	"netdrift/internal/par"
 )
 
 // Table2Config drives the reconstruction-strategy ablation (Table II):
 // FS+GAN vs FS+NoCond vs FS+VAE vs FS+VanillaAE with the TNet classifier.
 type Table2Config struct {
-	Dataset  string // "5gc" or "5gipc"
-	Shots    []int  // default {1, 5, 10}
-	Repeats  int    // default 3
-	Seed     int64
-	Scale    Scale
+	Dataset string // "5gc" or "5gipc"
+	Shots   []int  // default {1, 5, 10}
+	Repeats int    // default 3
+	Seed    int64
+	Scale   Scale
+	// Workers bounds concurrent evaluation of independent (rep, shot,
+	// reconstruction) cells; <= 0 means all cores, 1 forces the sequential
+	// path, and results are bit-identical for every value.
+	Workers  int
 	Progress func(string)
 	// Obs, when non-nil, instruments each ablation's adapter pipeline.
 	Obs *obs.Observer
@@ -52,6 +58,12 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 	for _, k := range kinds {
 		acc[k] = make(map[int][]float64)
 	}
+	type t2Cell struct {
+		rep, shot int
+		kind      core.ReconKind
+		support   *dataset.Dataset
+	}
+	var cells []t2Cell
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		for _, shot := range cfg.Shots {
 			drawRng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*977 + int64(shot)))
@@ -60,22 +72,37 @@ func RunTable2(cfg Table2Config) (*Table2Result, error) {
 				return nil, err
 			}
 			for _, kind := range kinds {
-				seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
-				m := NewFSRecon(kind, cfg.Scale.GANEpochs, seed)
-				m.Cfg.Obs = cfg.Obs
-				clf := models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
-				pred, err := m.Predict(pair.Source, support, pair.TargetTest, clf)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: table2 %s shot=%d: %w", kind, shot, err)
-				}
-				f1, err := metrics.MacroF1Score(pair.TargetTest.Y, pred, pair.NumClasses)
-				if err != nil {
-					return nil, err
-				}
-				acc[kind][shot] = append(acc[kind][shot], f1)
-				progress(cfg.Progress, "%s FS+%s shot=%d rep=%d F1=%.1f", cfg.Dataset, kind, shot, rep, f1)
+				cells = append(cells, t2Cell{rep, shot, kind, support})
 			}
 		}
+	}
+	workers := par.Resolve(cfg.Workers)
+	notify := lockedProgress(cfg.Progress, workers)
+	f1s := make([]float64, len(cells))
+	if err := par.ForEachErr(workers, len(cells), func(ci int) error {
+		c := cells[ci]
+		seed := cfg.Seed + int64(c.rep)*7919 + int64(c.shot)*101
+		m := NewFSRecon(c.kind, cfg.Scale.GANEpochs, seed)
+		m.Cfg.Obs = cfg.Obs
+		m.Cfg.Workers = 1 // the cell grid owns the parallelism
+		clf := models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
+		pred, err := m.Predict(pair.Source, c.support, pair.TargetTest, clf)
+		if err != nil {
+			return fmt.Errorf("experiments: table2 %s shot=%d: %w", c.kind, c.shot, err)
+		}
+		f1, err := metrics.MacroF1Score(pair.TargetTest.Y, pred, pair.NumClasses)
+		if err != nil {
+			return err
+		}
+		f1s[ci] = f1
+		progress(notify, "%s FS+%s shot=%d rep=%d F1=%.1f", cfg.Dataset, c.kind, c.shot, c.rep, f1)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Rep-major merge keeps each mean's summation order sequential.
+	for ci, c := range cells {
+		acc[c.kind][c.shot] = append(acc[c.kind][c.shot], f1s[ci])
 	}
 	res := &Table2Result{
 		Dataset: cfg.Dataset,

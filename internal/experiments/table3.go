@@ -9,16 +9,21 @@ import (
 	"netdrift/internal/metrics"
 	"netdrift/internal/models"
 	"netdrift/internal/obs"
+	"netdrift/internal/par"
 )
 
 // Table3Config drives the multi-target no-retraining experiment (§VI-F):
 // a single TNet fault-detection model trained only on Source, with two
 // FS+GAN adapters (one per target domain) cross-evaluated on both targets.
 type Table3Config struct {
-	Shots    []int // default {1, 5, 10}
-	Repeats  int   // default 3
-	Seed     int64
-	Scale    Scale
+	Shots   []int // default {1, 5, 10}
+	Repeats int   // default 3
+	Seed    int64
+	Scale   Scale
+	// Workers bounds concurrent evaluation of independent (rep, shot)
+	// cells; <= 0 means all cores, 1 forces the sequential path, and
+	// results are bit-identical for every value.
+	Workers  int
 	Progress func(string)
 	// Obs, when non-nil, instruments both per-target adapter pipelines.
 	Obs *obs.Observer
@@ -71,61 +76,90 @@ func RunTable3(cfg Table3Config) (*Table3Result, error) {
 	var commonSum float64
 	var commonN int
 
+	// Each (rep, shot) cell trains both adapters and the shared TNet from
+	// its own seeded RNGs, so cells are independent and fan out across
+	// workers; per-cell outputs merge afterwards in rep-major order so
+	// the mean/Jaccard summation order matches the sequential path.
+	type t3Cell struct{ rep, shot int }
+	type t3Out struct {
+		f1     [2][2]float64
+		common float64
+	}
+	var cells []t3Cell
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		for _, shot := range cfg.Shots {
-			seed := cfg.Seed + int64(rep)*7919 + int64(shot)*101
-			// One shared TNet trained exclusively on scaled source data.
-			var clf *models.TNet
-			var adapters [2]*core.Adapter
-			for a := 0; a < 2; a++ {
-				drawRng := rand.New(rand.NewSource(seed + int64(a)*13))
-				support, _, err := d.Targets[a].Train.FewShot(shot, true, drawRng)
+			cells = append(cells, t3Cell{rep, shot})
+		}
+	}
+	workers := par.Resolve(cfg.Workers)
+	notify := lockedProgress(cfg.Progress, workers)
+	outs := make([]t3Out, len(cells))
+	if err := par.ForEachErr(workers, len(cells), func(ci int) error {
+		c := cells[ci]
+		seed := cfg.Seed + int64(c.rep)*7919 + int64(c.shot)*101
+		// One shared TNet trained exclusively on scaled source data.
+		var clf *models.TNet
+		var adapters [2]*core.Adapter
+		for a := 0; a < 2; a++ {
+			drawRng := rand.New(rand.NewSource(seed + int64(a)*13))
+			support, _, err := d.Targets[a].Train.FewShot(c.shot, true, drawRng)
+			if err != nil {
+				return err
+			}
+			ad := core.NewAdapter(core.AdapterConfig{
+				Mode:    core.ModeFSRecon,
+				Recon:   core.ReconGAN,
+				GAN:     core.GANConfig{Epochs: cfg.Scale.GANEpochs},
+				Seed:    seed + int64(a),
+				Workers: 1, // the cell grid owns the parallelism
+				Obs:     cfg.Obs,
+			})
+			if err := ad.Fit(d.Source, support); err != nil {
+				return fmt.Errorf("experiments: table3 adapter %d: %w", a+1, err)
+			}
+			adapters[a] = ad
+			if a == 0 {
+				train, err := ad.TrainingData(d.Source)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				ad := core.NewAdapter(core.AdapterConfig{
-					Mode:  core.ModeFSRecon,
-					Recon: core.ReconGAN,
-					GAN:   core.GANConfig{Epochs: cfg.Scale.GANEpochs},
-					Seed:  seed + int64(a),
-					Obs:   cfg.Obs,
-				})
-				if err := ad.Fit(d.Source, support); err != nil {
-					return nil, fmt.Errorf("experiments: table3 adapter %d: %w", a+1, err)
-				}
-				adapters[a] = ad
-				if a == 0 {
-					train, err := ad.TrainingData(d.Source)
-					if err != nil {
-						return nil, err
-					}
-					clf = models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
-					if err := clf.Fit(train.X, train.Y, 2); err != nil {
-						return nil, fmt.Errorf("experiments: table3 tnet: %w", err)
-					}
+				clf = models.NewTNet(models.Options{Seed: seed, Epochs: cfg.Scale.ClassifierEpochs})
+				if err := clf.Fit(train.X, train.Y, 2); err != nil {
+					return fmt.Errorf("experiments: table3 tnet: %w", err)
 				}
 			}
-			commonSum += jaccard(adapters[0].VariantFeatures(), adapters[1].VariantFeatures())
-			commonN++
+		}
+		outs[ci].common = jaccard(adapters[0].VariantFeatures(), adapters[1].VariantFeatures())
 
-			for a := 0; a < 2; a++ {
-				for t := 0; t < 2; t++ {
-					aligned, err := adapters[a].TransformTarget(d.Targets[t].Test.X)
-					if err != nil {
-						return nil, err
-					}
-					pred, err := models.PredictClasses(clf, aligned)
-					if err != nil {
-						return nil, err
-					}
-					f1, err := metrics.MacroF1Score(d.Targets[t].Test.Y, pred, 2)
-					if err != nil {
-						return nil, err
-					}
-					acc[a][t][shot] = append(acc[a][t][shot], f1)
-					progress(cfg.Progress, "FS+GAN_%d on Target_%d shot=%d rep=%d F1=%.1f",
-						a+1, t+1, shot, rep, f1)
+		for a := 0; a < 2; a++ {
+			for t := 0; t < 2; t++ {
+				aligned, err := adapters[a].TransformTarget(d.Targets[t].Test.X)
+				if err != nil {
+					return err
 				}
+				pred, err := models.PredictClasses(clf, aligned)
+				if err != nil {
+					return err
+				}
+				f1, err := metrics.MacroF1Score(d.Targets[t].Test.Y, pred, 2)
+				if err != nil {
+					return err
+				}
+				outs[ci].f1[a][t] = f1
+				progress(notify, "FS+GAN_%d on Target_%d shot=%d rep=%d F1=%.1f",
+					a+1, t+1, c.shot, c.rep, f1)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		commonSum += outs[ci].common
+		commonN++
+		for a := 0; a < 2; a++ {
+			for t := 0; t < 2; t++ {
+				acc[a][t][c.shot] = append(acc[a][t][c.shot], outs[ci].f1[a][t])
 			}
 		}
 	}

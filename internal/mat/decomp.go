@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"netdrift/internal/par"
 )
 
 // Solve solves the linear system a*x = b for x using Gaussian elimination
@@ -128,6 +130,16 @@ func LogDetPD(a *Matrix) (float64, error) {
 // of x, using the unbiased 1/(n-1) normalization. x must have at least two
 // rows.
 func Covariance(x *Matrix) (*Matrix, error) {
+	return CovarianceWorkers(x, 1)
+}
+
+// CovarianceWorkers computes Covariance with up to workers goroutines
+// (workers <= 0 means GOMAXPROCS), parallelized over contiguous blocks of
+// output rows. Each covariance entry accumulates its per-sample terms in
+// ascending sample order — the same order as the sequential kernel — so the
+// result is bit-identical to Covariance for any worker count; a resolved
+// worker count of 1 runs entirely in the calling goroutine.
+func CovarianceWorkers(x *Matrix, workers int) (*Matrix, error) {
 	n, d := x.Dims()
 	if n < 2 {
 		return nil, fmt.Errorf("%w: need >= 2 rows, have %d", ErrShape, n)
@@ -143,18 +155,45 @@ func Covariance(x *Matrix) (*Matrix, error) {
 		means[j] /= float64(n)
 	}
 	cov := New(d, d)
-	for i := 0; i < n; i++ {
-		row := x.data[i*d : (i+1)*d]
-		for a := 0; a < d; a++ {
-			da := row[a] - means[a]
-			if da == 0 {
-				continue
-			}
-			crow := cov.data[a*d : (a+1)*d]
-			for b := a; b < d; b++ {
-				crow[b] += da * (row[b] - means[b])
+	workers = par.Resolve(workers)
+	if workers > 1 && n*d*d < parallelFlopThreshold {
+		workers = 1
+	}
+	if workers == 1 {
+		// Sequential path: one pass over the samples, upper triangle only.
+		for i := 0; i < n; i++ {
+			row := x.data[i*d : (i+1)*d]
+			for a := 0; a < d; a++ {
+				da := row[a] - means[a]
+				if da == 0 {
+					continue
+				}
+				crow := cov.data[a*d : (a+1)*d]
+				for b := a; b < d; b++ {
+					crow[b] += da * (row[b] - means[b])
+				}
 			}
 		}
+	} else {
+		// Parallel path: each worker owns a disjoint block of output rows
+		// and scans the samples in the same ascending order, so every
+		// cov[a][b] sees the identical sequence of floating-point adds
+		// (including the da == 0 skips) as the sequential pass.
+		par.Blocks(workers, d, func(lo, hi int) {
+			for i := 0; i < n; i++ {
+				row := x.data[i*d : (i+1)*d]
+				for a := lo; a < hi; a++ {
+					da := row[a] - means[a]
+					if da == 0 {
+						continue
+					}
+					crow := cov.data[a*d : (a+1)*d]
+					for b := a; b < d; b++ {
+						crow[b] += da * (row[b] - means[b])
+					}
+				}
+			}
+		})
 	}
 	norm := 1.0 / float64(n-1)
 	for a := 0; a < d; a++ {

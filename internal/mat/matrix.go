@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"netdrift/internal/par"
 )
 
 // Matrix is a dense row-major matrix of float64.
@@ -60,6 +62,20 @@ func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
 	m := New(rows, cols)
 	copy(m.data, data)
 	return m, nil
+}
+
+// Wrap builds a rows×cols matrix backed directly by data (row-major).
+// Unlike FromSlice no copy is made: the caller transfers ownership of data
+// and must not mutate it afterwards. This lets hot paths assemble a matrix
+// in a single allocation.
+func Wrap(rows, cols int, data []float64) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: invalid dimensions %dx%d", ErrShape, rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: %d values for %dx%d", ErrShape, len(data), rows, cols)
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}, nil
 }
 
 // Identity returns the n×n identity matrix.
@@ -161,11 +177,40 @@ func Scale(s float64, a *Matrix) *Matrix {
 
 // Mul returns the matrix product a*b.
 func Mul(a, b *Matrix) (*Matrix, error) {
+	return MulWorkers(a, b, 1)
+}
+
+// MulWorkers returns the matrix product a*b computed with up to workers
+// goroutines over contiguous blocks of output rows (workers <= 0 means
+// GOMAXPROCS). Every output element accumulates its k-terms in exactly the
+// same order as the sequential product, so the result is bit-identical to
+// Mul for any worker count; a resolved worker count of 1 runs entirely in
+// the calling goroutine.
+func MulWorkers(a, b *Matrix, workers int) (*Matrix, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
+	workers = par.Resolve(workers)
+	// Goroutine startup costs ~µs each; don't spawn for products whose
+	// total flop count is smaller than that.
+	if workers > 1 && a.rows*a.cols*b.cols < parallelFlopThreshold {
+		workers = 1
+	}
+	par.Blocks(workers, a.rows, func(lo, hi int) {
+		mulRows(a, b, out, lo, hi)
+	})
+	return out, nil
+}
+
+// parallelFlopThreshold is the approximate operation count below which a
+// parallel kernel falls back to the sequential path.
+const parallelFlopThreshold = 1 << 15
+
+// mulRows computes output rows [lo, hi) of out = a*b. Row blocks are
+// disjoint, so concurrent calls on distinct ranges never race.
+func mulRows(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
 		for k, av := range arow {
@@ -178,7 +223,6 @@ func Mul(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // MulVec returns the matrix-vector product a*x.

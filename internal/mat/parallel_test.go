@@ -1,0 +1,123 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func seededMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(rows, cols)
+	for i := range m.data {
+		// Mix in exact zeros so the da == 0 / av == 0 skip paths are
+		// exercised by the bit-identity comparison.
+		if rng.Intn(7) == 0 {
+			continue
+		}
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// bitIdentical reports whether two matrices match exactly — same float64
+// bit patterns, not approximate equality.
+func bitIdentical(a, b *Matrix) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+		// Distinguish +0 from -0: a sign flip would betray a reordered
+		// reduction even though == treats them as equal.
+		if a.data[i] == 0 && (1/a.data[i] != 1/b.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWrap(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m, err := Wrap(2, 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v; want 6", m.At(1, 2))
+	}
+	// No copy: mutating the backing slice must show through.
+	data[5] = 60
+	if m.At(1, 2) != 60 {
+		t.Error("Wrap copied the data; want shared backing slice")
+	}
+	if _, err := Wrap(2, 3, []float64{1}); err == nil {
+		t.Error("no error for wrong-sized data")
+	}
+	if _, err := Wrap(0, 3, nil); err == nil {
+		t.Error("no error for zero rows")
+	}
+}
+
+func TestMulWorkersBitIdentical(t *testing.T) {
+	for _, tc := range []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 4, 5}, {64, 64, 64}, {101, 53, 97}, {200, 40, 120},
+	} {
+		a := seededMatrix(tc.m, tc.k, int64(tc.m*1000+tc.k))
+		b := seededMatrix(tc.k, tc.n, int64(tc.k*1000+tc.n))
+		seq, err := MulWorkers(a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 7, 16} {
+			parOut, err := MulWorkers(a, b, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitIdentical(seq, parOut) {
+				t.Fatalf("%dx%dx%d workers=%d: parallel product differs from sequential",
+					tc.m, tc.k, tc.n, workers)
+			}
+		}
+	}
+}
+
+func TestMulWorkersShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 2)
+	if _, err := MulWorkers(a, b, 4); err == nil {
+		t.Error("no shape error")
+	}
+}
+
+func TestCovarianceWorkersBitIdentical(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{2, 1}, {50, 7}, {400, 33}, {123, 64},
+	} {
+		x := seededMatrix(tc.n, tc.d, int64(tc.n*31+tc.d))
+		seq, err := CovarianceWorkers(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, _ := Covariance(x); !bitIdentical(seq, want) {
+			t.Fatal("CovarianceWorkers(x, 1) differs from Covariance(x)")
+		}
+		for _, workers := range []int{2, 5, 16} {
+			parOut, err := CovarianceWorkers(x, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitIdentical(seq, parOut) {
+				t.Fatalf("n=%d d=%d workers=%d: parallel covariance differs from sequential",
+					tc.n, tc.d, workers)
+			}
+		}
+	}
+}
+
+func TestCovarianceWorkersTooFewRows(t *testing.T) {
+	if _, err := CovarianceWorkers(New(1, 3), 4); err == nil {
+		t.Error("no error for single-row input")
+	}
+}

@@ -1,0 +1,164 @@
+// Package par provides the repo's bounded parallel-execution primitives:
+// a work-stealing parallel for-loop, an error-collecting variant with
+// deterministic first-error semantics, and a contiguous block splitter for
+// row-blocked matrix kernels.
+//
+// The package enforces one contract everywhere it is used: a resolved
+// worker count of 1 runs the loop body sequentially in the calling
+// goroutine — no goroutines, no channels, no scheduling — so callers can
+// promise an "exact sequential path" when Workers=1. Higher worker counts
+// may reorder execution but never reorder results: callers index into
+// pre-sized output slots, and every numeric kernel built on this package
+// preserves its per-element reduction order (see DESIGN.md, "Determinism
+// contract").
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers configuration value: n >= 1 is used as-is;
+// zero and negative values mean "all cores", runtime.GOMAXPROCS(0).
+func Resolve(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TaskPanic wraps a panic raised inside a parallel task so the caller can
+// tell which index failed. When several tasks panic concurrently, the one
+// with the smallest index is kept.
+type TaskPanic struct {
+	Index int
+	Value any
+}
+
+// String implements fmt.Stringer for panic output readability.
+func (p TaskPanic) String() string {
+	return fmt.Sprintf("par: task %d panicked: %v", p.Index, p.Value)
+}
+
+// ForEach runs fn(i) for every i in [0, n) using up to workers goroutines
+// (workers <= 0 means GOMAXPROCS). With a resolved worker count of 1 the
+// calls happen in index order in the calling goroutine. Task panics from
+// worker goroutines are re-raised in the caller as a TaskPanic.
+func ForEach(workers, n int, fn func(i int)) {
+	_ = ForEachErr(workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErr is ForEach for fallible tasks. After the first task error the
+// pool stops claiming new indices (cancellation); every worker still
+// finishes the index it already claimed. Among the tasks that ran, the
+// error with the smallest index is returned — since index 0..workers-1 are
+// always claimed before any cancellation can be observed, an error at
+// index 0 is reported exactly as the sequential loop would report it. With
+// a resolved worker count of 1 this is precisely the sequential
+// loop-and-return-early semantics.
+func ForEachErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next index to claim
+		stop atomic.Bool  // set after any error or panic
+
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		panIdx   = n
+		panVal   any
+		panicked bool
+	)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stop.Store(true)
+				mu.Lock()
+				if !panicked || i < panIdx {
+					panicked, panIdx, panVal = true, i, r
+				}
+				mu.Unlock()
+			}
+		}()
+		if err := fn(i); err != nil {
+			stop.Store(true)
+			mu.Lock()
+			if i < errIdx {
+				errIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				// Claim before checking stop: each worker's first claim
+				// always runs, so indices 0..workers-1 are never skipped
+				// and the lowest-index error is reported deterministically.
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
+				if stop.Load() {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(TaskPanic{Index: panIdx, Value: panVal})
+	}
+	return firstErr
+}
+
+// Blocks partitions [0, n) into at most workers near-equal contiguous
+// ranges and runs fn(lo, hi) for each, in parallel. With a resolved worker
+// count of 1 it makes the single call fn(0, n) in the calling goroutine.
+// Useful for row-blocked kernels where each block owns a disjoint output
+// range.
+func Blocks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	ForEach(workers, workers, func(b int) {
+		lo := b * n / workers
+		hi := (b + 1) * n / workers
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}
