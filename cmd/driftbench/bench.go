@@ -35,6 +35,10 @@ type benchStage struct {
 	SeqSeconds   float64 `json:"seq_seconds"`
 	ParSeconds   float64 `json:"par_seconds"`
 	Speedup      float64 `json:"speedup"`
+	SeqAllocs    uint64  `json:"seq_allocs"`
+	SeqBytes     uint64  `json:"seq_bytes"`
+	ParAllocs    uint64  `json:"par_allocs"`
+	ParBytes     uint64  `json:"par_bytes"`
 	BitIdentical bool    `json:"bit_identical"`
 }
 
@@ -77,32 +81,46 @@ func runBench(out io.Writer, observer *obs.Observer, cfg benchConfig) error {
 		dim = 768
 	}
 
-	timed := func(stage, mode string, fn func() error) (float64, error) {
+	// timed measures wall time plus heap allocation deltas (Mallocs /
+	// TotalAlloc are monotonic, so the deltas are exact counts of what the
+	// stage allocated; concurrent background work would inflate them, but
+	// the bench runs stages strictly one at a time).
+	timed := func(stage, mode string, fn func() error) (float64, uint64, uint64, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		done := observer.Time(benchStageMetric, "stage", stage, "mode", mode)
 		err := fn()
 		done()
+		runtime.ReadMemStats(&after)
 		if err != nil {
-			return 0, fmt.Errorf("bench %s (%s): %w", stage, mode, err)
+			return 0, 0, 0, fmt.Errorf("bench %s (%s): %w", stage, mode, err)
 		}
 		h := observer.Registry.Histogram(benchStageMetric, "stage", stage, "mode", mode)
-		return h.Sum(), nil
+		return h.Sum(), after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
 	}
 	addStage := func(name string, seqFn, parFn func() error, identical func() bool) error {
-		seqS, err := timed(name, "seq", seqFn)
+		seqS, seqAllocs, seqBytes, err := timed(name, "seq", seqFn)
 		if err != nil {
 			return err
 		}
-		parS, err := timed(name, "par", parFn)
+		parS, parAllocs, parBytes, err := timed(name, "par", parFn)
 		if err != nil {
 			return err
 		}
-		st := benchStage{Name: name, SeqSeconds: seqS, ParSeconds: parS, BitIdentical: identical()}
+		st := benchStage{
+			Name: name, SeqSeconds: seqS, ParSeconds: parS,
+			SeqAllocs: seqAllocs, SeqBytes: seqBytes,
+			ParAllocs: parAllocs, ParBytes: parBytes,
+			BitIdentical: identical(),
+		}
 		if parS > 0 {
 			st.Speedup = seqS / parS
 		}
 		rep.Stages = append(rep.Stages, st)
-		fmt.Fprintf(out, "%-12s seq %.3fs  par(%d) %.3fs  speedup %.2fx  bit-identical %v\n",
-			name, st.SeqSeconds, workers, st.ParSeconds, st.Speedup, st.BitIdentical)
+		fmt.Fprintf(out, "%-12s seq %.3fs  par(%d) %.3fs  speedup %.2fx  allocs %d/%d  MB %.1f/%.1f  bit-identical %v\n",
+			name, st.SeqSeconds, workers, st.ParSeconds, st.Speedup,
+			st.SeqAllocs, st.ParAllocs,
+			float64(st.SeqBytes)/(1<<20), float64(st.ParBytes)/(1<<20), st.BitIdentical)
 		return nil
 	}
 

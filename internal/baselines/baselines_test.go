@@ -183,3 +183,30 @@ func TestTarOnlyImprovesWithMoreShots(t *testing.T) {
 		t.Errorf("TarOnly should improve with shots: %.1f (6) vs %.1f (90)", f1Small, f1Large)
 	}
 }
+
+// TestCMTDeterministicAcrossRuns guards the sorted class iteration in the
+// augmentation loop: ranging over the per-class map directly let Go's
+// randomized map order reassign the shared rng's draws between runs, so two
+// identical CMT calls could train on differently ordered (and differently
+// jittered) data and disagree.
+func TestCMTDeterministicAcrossRuns(t *testing.T) {
+	src := driftProblem(300, false, 11)
+	sup := driftProblem(15, true, 12)
+	tst := driftProblem(90, true, 13)
+	run := func() []int {
+		pred, err := CMT{Seed: 5}.Predict(src, sup, tst, quickClf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+	first := run()
+	for trial := 0; trial < 3; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("trial %d: prediction %d differs (%d vs %d)", trial, i, again[i], first[i])
+			}
+		}
+	}
+}

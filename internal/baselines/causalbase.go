@@ -3,6 +3,7 @@ package baselines
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"netdrift/internal/causal"
 	"netdrift/internal/dataset"
@@ -84,7 +85,16 @@ func (m CMT) Predict(source, support, test *dataset.Dataset, clf models.Classifi
 	trainX := append([][]float64{}, srcX...)
 	trainY := append([]int(nil), source.Y...)
 	d := source.NumFeatures()
-	for c, comps := range byClass {
+	// Iterate classes in sorted order: ranging over the map directly would
+	// let Go's randomized iteration order reassign the shared rng's draws
+	// (and reorder the training rows) between otherwise identical runs.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		comps := byClass[c]
 		// Keep the originals.
 		for _, e := range comps {
 			x, err := mat.MulVec(l, e)

@@ -246,6 +246,11 @@ func evalConditionalsChunked(t *CITester, x, fNode int, neighbors []int, cfg FNo
 	chunk := make([][]int, 0, chunkSize)
 	ps := make([]float64, chunkSize)
 	errs := make([]error, chunkSize)
+	// One flat backing array holds every buffered conditioning set; the
+	// chunk entries are views into it, so buffering a set costs no
+	// allocation after this point.
+	condBuf := make([]int, chunkSize*cfg.MaxOrder)
+	used := 0
 
 	// flush evaluates the buffered sets in parallel, then resolves them in
 	// enumeration order: the first exoneration or error terminates the scan
@@ -267,12 +272,16 @@ func evalConditionalsChunked(t *CITester, x, fNode int, neighbors []int, cfg FNo
 			}
 		}
 		chunk = chunk[:0]
+		used = 0
 		return false
 	}
 
 	done := false
 	subsetsUpTo(neighbors, cfg.MaxOrder, func(cond []int) bool {
-		chunk = append(chunk, append([]int(nil), cond...))
+		dst := condBuf[used : used+len(cond) : used+len(cond)]
+		copy(dst, cond)
+		used += len(cond)
+		chunk = append(chunk, dst)
 		if len(chunk) == chunkSize {
 			done = flush()
 			return !done

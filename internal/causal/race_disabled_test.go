@@ -1,0 +1,5 @@
+//go:build !race
+
+package causal
+
+const raceEnabled = false

@@ -1,0 +1,163 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// corrFixture builds a correlation matrix from correlated synthetic columns.
+func corrFixture(t testing.TB, n, d int, seed int64) [][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		base := rng.NormFloat64()
+		for j := range row {
+			row[j] = 0.4*base + rng.NormFloat64()
+		}
+		x[i] = row
+	}
+	return x
+}
+
+// TestPartialCorrWorkspaceGolden pins the scratch-reusing partial
+// correlation bit-for-bit against the allocating PartialCorr, reusing one
+// workspace across conditioning sets of varying size (stale buffer contents
+// must never leak into a result).
+func TestPartialCorrWorkspaceGolden(t *testing.T) {
+	x := corrFixture(t, 300, 9, 31)
+	corr, err := CorrMatrix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := &ciWorkspace{}
+	cases := [][]int{
+		nil,
+		{2},
+		{2, 5, 7, 8},
+		{3, 4},
+		{1, 2, 3, 4, 5},
+		{6},
+		nil,
+	}
+	for ci, cond := range cases {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want, wantErr := PartialCorr(corr, i, j, cond)
+				got, gotErr := partialCorrWs(corr, i, j, cond, ws)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("case %d (%d,%d): error mismatch: %v vs %v", ci, i, j, wantErr, gotErr)
+				}
+				if got != want {
+					t.Fatalf("case %d (%d,%d|%v): workspace %v != golden %v", ci, i, j, cond, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPValueMemoConsistency checks that memoized and fresh evaluations of
+// the same test agree exactly, across the memoable and non-memoable
+// conditioning-set sizes.
+func TestPValueMemoConsistency(t *testing.T) {
+	x := corrFixture(t, 200, 8, 17)
+	warm, err := NewCITester(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := [][]int{nil, {3}, {3, 4}, {2, 3, 4, 5}, {1, 2, 3, 4, 5}}
+	for _, cond := range conds {
+		first, err := warm.PValue(0, 6, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := warm.PValue(0, 6, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != second {
+			t.Fatalf("cond %v: repeat PValue %v != first %v", cond, second, first)
+		}
+		fresh, err := NewCITester(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := fresh.PValue(0, 6, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != first {
+			t.Fatalf("cond %v: memoized %v != fresh tester %v", cond, first, direct)
+		}
+	}
+}
+
+// TestPValueDistinguishesCondSets guards the memo key: different
+// conditioning sets (including prefixes of each other) must not collide.
+func TestPValueDistinguishesCondSets(t *testing.T) {
+	x := corrFixture(t, 200, 8, 23)
+	tester, err := NewCITester(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA, err := tester.PValue(0, 6, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := tester.PValue(0, 6, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pC, err := tester.PValue(0, 6, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewCITester(x)
+	for _, tc := range []struct {
+		cond []int
+		p    float64
+	}{{[]int{3}, pA}, {[]int{3, 4}, pB}, {[]int{4, 3}, pC}} {
+		want, err := fresh.PValue(0, 6, tc.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.p != want {
+			t.Fatalf("cond %v: memoed tester %v != fresh %v", tc.cond, tc.p, want)
+		}
+	}
+}
+
+// pvalueAllocBudget is the pinned steady-state allocation budget for one
+// CI test — both the memo-hit path and the pooled-workspace compute path
+// are designed to allocate nothing.
+const pvalueAllocBudget = 0.5
+
+// TestPValueSteadyStateAllocs is the allocation-regression gate for the
+// causal hot path; the CI bench gate runs it without the race detector.
+func TestPValueSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	x := corrFixture(t, 200, 8, 29)
+	tester, err := NewCITester(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memoized := []int{1, 2}
+	uncached := []int{1, 2, 3, 4, 5} // above memoMaxCond: always recomputed
+	warm := func(cond []int) {
+		if _, err := tester.PValue(0, 6, cond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm(memoized)
+	warm(uncached)
+	warm(uncached)
+	if avg := testing.AllocsPerRun(50, func() { warm(memoized) }); avg > pvalueAllocBudget {
+		t.Errorf("memo-hit PValue allocates %.2f/op, budget %v", avg, pvalueAllocBudget)
+	}
+	if avg := testing.AllocsPerRun(50, func() { warm(uncached) }); avg > pvalueAllocBudget {
+		t.Errorf("workspace PValue allocates %.2f/op, budget %v", avg, pvalueAllocBudget)
+	}
+}

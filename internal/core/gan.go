@@ -75,6 +75,24 @@ type CGAN struct {
 	rng     *rand.Rand
 	fixedZ  []float64 // pinned inference noise draw (M=1, §V-C2)
 	trained bool
+	scr     ganScratch
+}
+
+// ganScratch holds the per-batch buffers reused across the whole training
+// run (steady-state epochs allocate nothing; see DESIGN.md §5c).
+type ganScratch struct {
+	perm     []int
+	batches  [][]int
+	bInv     nn.Tensor
+	bVar     nn.Tensor
+	bLab     nn.Tensor
+	noise    nn.Tensor
+	genIn    nn.Tensor // [bInv | noise]; held by the generator between passes
+	discIn   nn.Tensor // [bInv | var (| label)]
+	targets  []float64
+	grad     nn.Tensor // BCE gradient w.r.t. discriminator logits
+	gradFake nn.Tensor // gradient w.r.t. the generated variant block
+	gradMSE  nn.Tensor
 }
 
 var _ Reconstructor = (*CGAN)(nil)
@@ -157,21 +175,22 @@ func (g *CGAN) Fit(inv, vr [][]float64, y []int, numClasses int) error {
 	n := len(inv)
 	bestLoss := math.Inf(1)
 	convergedEpoch := 0
+	scr := &g.scr
 	for epoch := 0; epoch < g.cfg.Epochs; epoch++ {
 		var genSum, discSum float64
 		var batches int
-		for _, idx := range nn.Minibatches(n, g.cfg.BatchSize, g.rng) {
-			bInv := nn.Gather(inv, idx)
-			bVar := nn.Gather(vr, idx)
-			var bLab [][]float64
+		scr.perm, scr.batches = nn.MinibatchesInto(n, g.cfg.BatchSize, g.rng, scr.perm, scr.batches)
+		for _, idx := range scr.batches {
+			nn.GatherInto(&scr.bInv, inv, idx)
+			nn.GatherInto(&scr.bVar, vr, idx)
 			if g.cfg.Conditional {
-				bLab = nn.Gather(oneHot, idx)
+				nn.GatherInto(&scr.bLab, oneHot, idx)
 			}
-			dLoss, err := g.discStep(optD, discParams, genParams, bInv, bVar, bLab)
+			dLoss, err := g.discStep(optD, discParams, genParams)
 			if err != nil {
 				return fmt.Errorf("core: gan epoch %d: %w", epoch, err)
 			}
-			gLoss, err := g.genStep(optG, genParams, discParams, bInv, bVar, bLab)
+			gLoss, err := g.genStep(optG, genParams, discParams)
 			if err != nil {
 				return fmt.Errorf("core: gan epoch %d: %w", epoch, err)
 			}
@@ -203,41 +222,55 @@ func (g *CGAN) Fit(inv, vr [][]float64, y []int, numClasses int) error {
 	return nil
 }
 
-// generate runs the generator on a batch of invariant rows.
+// generate runs the generator on a batch of invariant rows (allocating
+// inference path; training uses generateT).
 func (g *CGAN) generate(bInv [][]float64, train bool) [][]float64 {
 	z := gaussianNoise(len(bInv), g.cfg.NoiseDim, g.rng)
 	return g.gen.Forward(nn.ConcatRows(bInv, z), train)
 }
 
-// discInput assembles the discriminator input.
-func (g *CGAN) discInput(bInv, bVar, bLab [][]float64) [][]float64 {
+// generateT runs the generator on the gathered invariant batch through the
+// flat path, consuming the same noise draws as generate. The result is the
+// generator's output scratch, valid until the next generator pass.
+func (g *CGAN) generateT(bInv *nn.Tensor, train bool) *nn.Tensor {
+	scr := &g.scr
+	gaussianNoiseInto(&scr.noise, bInv.Rows(), g.cfg.NoiseDim, g.rng)
+	return g.gen.ForwardT(nn.ConcatInto(&scr.genIn, bInv, &scr.noise), train)
+}
+
+// discInputT assembles the discriminator input in scratch.
+func (g *CGAN) discInputT(bVar *nn.Tensor) *nn.Tensor {
+	scr := &g.scr
 	if g.cfg.Conditional {
-		return nn.ConcatRows(bInv, bVar, bLab)
+		return nn.ConcatInto(&scr.discIn, &scr.bInv, bVar, &scr.bLab)
 	}
-	return nn.ConcatRows(bInv, bVar)
+	return nn.ConcatInto(&scr.discIn, &scr.bInv, bVar)
 }
 
 // discStep trains D to separate real from generated variant features. It
-// returns the summed real+fake BCE loss of the step.
-func (g *CGAN) discStep(opt nn.Optimizer, discParams, genParams []*nn.Param, bInv, bVar, bLab [][]float64) (float64, error) {
-	n := len(bInv)
+// returns the summed real+fake BCE loss of the step. The batch lives in
+// g.scr (bInv/bVar/bLab), gathered by Fit.
+func (g *CGAN) discStep(opt nn.Optimizer, discParams, genParams []*nn.Param) (float64, error) {
+	scr := &g.scr
+	n := scr.bInv.Rows()
 	// Real pass.
-	realOut := g.disc.Forward(g.discInput(bInv, bVar, bLab), true)
-	ones := constTargets(n, 0.9) // mild label smoothing for stability
-	lossReal, gradReal, err := nn.BCEWithLogits(realOut, ones)
+	realOut := g.disc.ForwardT(g.discInputT(&scr.bVar), true)
+	scr.targets = constTargetsInto(scr.targets, n, 0.9) // mild label smoothing for stability
+	lossReal, err := nn.BCEWithLogitsT(realOut, scr.targets, &scr.grad)
 	if err != nil {
 		return 0, err
 	}
-	g.disc.Backward(gradReal)
-	// Fake pass (generator output detached: we never backward into G here).
-	fake := g.generate(bInv, true)
-	fakeOut := g.disc.Forward(g.discInput(bInv, fake, bLab), true)
-	zeros := constTargets(n, 0)
-	lossFake, gradFake, err := nn.BCEWithLogits(fakeOut, zeros)
+	g.disc.BackwardT(&scr.grad)
+	// Fake pass (generator output detached: we never backward into G here;
+	// the concat into discIn copies it out of the generator's scratch).
+	fake := g.generateT(&scr.bInv, true)
+	fakeOut := g.disc.ForwardT(g.discInputT(fake), true)
+	scr.targets = constTargetsInto(scr.targets, n, 0)
+	lossFake, err := nn.BCEWithLogitsT(fakeOut, scr.targets, &scr.grad)
 	if err != nil {
 		return 0, err
 	}
-	g.disc.Backward(gradFake)
+	g.disc.BackwardT(&scr.grad)
 	opt.Step(discParams)
 	nn.ZeroGrads(genParams) // drop any gradient that leaked into G caches
 	return lossReal + lossFake, nil
@@ -245,24 +278,26 @@ func (g *CGAN) discStep(opt nn.Optimizer, discParams, genParams []*nn.Param, bIn
 
 // genStep trains G to fool D (plus the optional reconstruction anchor). It
 // returns the generator objective: adversarial BCE plus the weighted anchor.
-func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param, bInv, bVar, bLab [][]float64) (float64, error) {
-	n := len(bInv)
-	fake := g.generate(bInv, true)
-	fakeOut := g.disc.Forward(g.discInput(bInv, fake, bLab), true)
-	ones := constTargets(n, 1)
-	loss, gradAdv, err := nn.BCEWithLogits(fakeOut, ones)
+func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param) (float64, error) {
+	scr := &g.scr
+	n := scr.bInv.Rows()
+	fake := g.generateT(&scr.bInv, true)
+	fakeOut := g.disc.ForwardT(g.discInputT(fake), true)
+	scr.targets = constTargetsInto(scr.targets, n, 1)
+	loss, err := nn.BCEWithLogitsT(fakeOut, scr.targets, &scr.grad)
 	if err != nil {
 		return 0, err
 	}
-	gradDIn := g.disc.Backward(gradAdv)
+	gradDIn := g.disc.BackwardT(&scr.grad)
 	// Slice out the gradient w.r.t. the generated variant block.
-	gradFake := make([][]float64, n)
-	for i := range gradDIn {
-		seg := gradDIn[i][g.invDim : g.invDim+g.varDim]
-		gradFake[i] = append([]float64(nil), seg...)
+	gradFake := scr.gradFake.Reset(n, g.varDim)
+	for i := 0; i < n; i++ {
+		copy(gradFake.Row(i), gradDIn.Row(i)[g.invDim:g.invDim+g.varDim])
 	}
 	if g.cfg.AnchorWeight > 0 {
-		lossMSE, gradMSE, err := nn.MSE(fake, bVar)
+		// fake is still the generator's live output scratch: no generator
+		// pass has run since generateT, so the anchor reads it directly.
+		lossMSE, err := nn.MSET(fake, &scr.bVar, &scr.gradMSE)
 		if err != nil {
 			return 0, err
 		}
@@ -271,13 +306,12 @@ func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param, bInv
 		// anchor weight expresses a per-row balance.
 		w := g.cfg.AnchorWeight * float64(g.varDim)
 		loss += w * lossMSE
-		for i := range gradFake {
-			for j := range gradFake[i] {
-				gradFake[i][j] += w * gradMSE[i][j]
-			}
+		gf, gm := gradFake.Data(), scr.gradMSE.Data()
+		for i := range gf {
+			gf[i] += w * gm[i]
 		}
 	}
-	g.gen.Backward(gradFake)
+	g.gen.BackwardT(gradFake)
 	opt.Step(genParams)
 	nn.ZeroGrads(discParams) // D gradients from this pass are discarded
 	return loss, nil
@@ -343,10 +377,14 @@ func (g *CGAN) ReconstructMC(inv [][]float64, m int) ([][]float64, error) {
 	return acc, nil
 }
 
-func constTargets(n int, v float64) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = v
+// constTargetsInto fills (and if needed regrows) buf with n copies of v.
+func constTargetsInto(buf []float64, n int, v float64) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
 	}
-	return out
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = v
+	}
+	return buf
 }

@@ -1,6 +1,10 @@
 package core
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"netdrift/internal/nn"
+)
 
 // Reconstructor learns, on source-domain data only, to reconstruct the
 // domain-variant features from the domain-invariant features. At inference
@@ -79,4 +83,16 @@ func gaussianNoise(n, dim int, rng *rand.Rand) [][]float64 {
 		out[i] = row
 	}
 	return out
+}
+
+// gaussianNoiseInto fills dst (reshaped to n×dim) with standard-normal
+// draws in row-major order — the same draw order as gaussianNoise, so the
+// two are interchangeable without perturbing the RNG stream.
+func gaussianNoiseInto(dst *nn.Tensor, n, dim int, rng *rand.Rand) *nn.Tensor {
+	dst.Reset(n, dim)
+	data := dst.Data()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return dst
 }

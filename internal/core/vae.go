@@ -57,6 +57,22 @@ type VAE struct {
 	rng            *rand.Rand
 	fixedZ         []float64 // pinned inference latent (mirrors the GAN's M=1)
 	trained        bool
+	scr            vaeScratch
+}
+
+// vaeScratch holds the per-batch buffers reused across the whole training
+// run (steady-state epochs allocate nothing; see DESIGN.md §5c).
+type vaeScratch struct {
+	perm      []int
+	batches   [][]int
+	bInv      nn.Tensor
+	bVar      nn.Tensor
+	encIn     nn.Tensor // [bInv | bVar]
+	eps       nn.Tensor
+	z         nn.Tensor
+	decIn     nn.Tensor // [bInv | z]
+	gradRecon nn.Tensor
+	gradEnc   nn.Tensor
 }
 
 var _ Reconstructor = (*VAE)(nil)
@@ -104,13 +120,15 @@ func (v *VAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 	n := len(inv)
 	bestLoss := math.Inf(1)
 	convergedEpoch := 0
+	scr := &v.scr
 	for epoch := 0; epoch < v.cfg.Epochs; epoch++ {
 		var lossSum float64
 		var batches int
-		for _, idx := range nn.Minibatches(n, v.cfg.BatchSize, v.rng) {
-			bInv := nn.Gather(inv, idx)
-			bVar := nn.Gather(vr, idx)
-			loss, err := v.step(opt, params, bInv, bVar)
+		scr.perm, scr.batches = nn.MinibatchesInto(n, v.cfg.BatchSize, v.rng, scr.perm, scr.batches)
+		for _, idx := range scr.batches {
+			nn.GatherInto(&scr.bInv, inv, idx)
+			nn.GatherInto(&scr.bVar, vr, idx)
+			loss, err := v.step(opt, params)
 			if err != nil {
 				return fmt.Errorf("core: vae epoch %d: %w", epoch, err)
 			}
@@ -133,51 +151,55 @@ func (v *VAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 }
 
 // step runs one minibatch update and returns the reconstruction MSE (the
-// monitored loss; the KL term is folded into the gradients only).
-func (v *VAE) step(opt nn.Optimizer, params []*nn.Param, bInv, bVar [][]float64) (float64, error) {
-	n := len(bInv)
+// monitored loss; the KL term is folded into the gradients only). The batch
+// lives in v.scr (bInv/bVar), gathered by Fit.
+func (v *VAE) step(opt nn.Optimizer, params []*nn.Param) (float64, error) {
+	scr := &v.scr
+	n := scr.bInv.Rows()
 	ld := v.cfg.LatentDim
 
-	encOut := v.encoder.Forward(nn.ConcatRows(bInv, bVar), true)
-	mu := make([][]float64, n)
-	logvar := make([][]float64, n)
-	eps := gaussianNoise(n, ld, v.rng)
-	z := make([][]float64, n)
+	encOut := v.encoder.ForwardT(nn.ConcatInto(&scr.encIn, &scr.bInv, &scr.bVar), true)
+	gaussianNoiseInto(&scr.eps, n, ld, v.rng)
+	z := scr.z.Reset(n, ld)
 	for i := 0; i < n; i++ {
-		mu[i] = encOut[i][:ld]
-		logvar[i] = encOut[i][ld:]
-		zi := make([]float64, ld)
+		enc := encOut.Row(i)
+		mu, logvar := enc[:ld], enc[ld:]
+		epsRow := scr.eps.Row(i)
+		zi := z.Row(i)
 		for k := 0; k < ld; k++ {
-			lv := clamp(logvar[i][k], -8, 8)
-			zi[k] = mu[i][k] + math.Exp(0.5*lv)*eps[i][k]
+			lv := clamp(logvar[k], -8, 8)
+			zi[k] = mu[k] + math.Exp(0.5*lv)*epsRow[k]
 		}
-		z[i] = zi
 	}
 
-	recon := v.decoder.Forward(nn.ConcatRows(bInv, z), true)
-	lossRecon, gradRecon, err := nn.MSE(recon, bVar)
+	recon := v.decoder.ForwardT(nn.ConcatInto(&scr.decIn, &scr.bInv, z), true)
+	lossRecon, err := nn.MSET(recon, &scr.bVar, &scr.gradRecon)
 	if err != nil {
 		return 0, err
 	}
-	gradDecIn := v.decoder.Backward(gradRecon)
+	gradDecIn := v.decoder.BackwardT(&scr.gradRecon)
 
 	// Assemble encoder-output gradient: reconstruction path through z plus
-	// the KL term, normalized per latent unit like the MSE.
+	// the KL term, normalized per latent unit like the MSE. encOut is still
+	// the encoder's live output scratch — no encoder pass has run since.
 	klNorm := v.cfg.KLWeight / float64(n*ld)
-	gradEnc := make([][]float64, n)
+	gradEnc := scr.gradEnc.Reset(n, 2*ld)
 	for i := 0; i < n; i++ {
-		ge := make([]float64, 2*ld)
+		enc := encOut.Row(i)
+		mu, logvar := enc[:ld], enc[ld:]
+		epsRow := scr.eps.Row(i)
+		dec := gradDecIn.Row(i)
+		ge := gradEnc.Row(i)
 		for k := 0; k < ld; k++ {
-			lv := clamp(logvar[i][k], -8, 8)
-			dz := gradDecIn[i][v.invDim+k]
+			lv := clamp(logvar[k], -8, 8)
+			dz := dec[v.invDim+k]
 			// dz/dmu = 1; dz/dlogvar = 0.5·exp(0.5·lv)·eps.
-			ge[k] = dz + klNorm*mu[i][k]                   // dKL/dmu = mu
-			ge[ld+k] = dz*0.5*math.Exp(0.5*lv)*eps[i][k] + //
+			ge[k] = dz + klNorm*mu[k]                      // dKL/dmu = mu
+			ge[ld+k] = dz*0.5*math.Exp(0.5*lv)*epsRow[k] + //
 				klNorm*0.5*(math.Exp(lv)-1) // dKL/dlogvar = (exp(lv)-1)/2
 		}
-		gradEnc[i] = ge
 	}
-	v.encoder.Backward(gradEnc)
+	v.encoder.BackwardT(gradEnc)
 	opt.Step(params)
 	return lossRecon, nil
 }
@@ -209,6 +231,12 @@ type VanillaAE struct {
 	net            *nn.Network
 	invDim, varDim int
 	trained        bool
+
+	// training scratch, reused across batches
+	perm       []int
+	batches    [][]int
+	bInv, bVar nn.Tensor
+	grad       nn.Tensor
 }
 
 var _ Reconstructor = (*VanillaAE)(nil)
@@ -250,15 +278,16 @@ func (a *VanillaAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
 		var lossSum float64
 		var batches int
-		for _, idx := range nn.Minibatches(len(inv), a.cfg.BatchSize, rng) {
-			bInv := nn.Gather(inv, idx)
-			bVar := nn.Gather(vr, idx)
-			out := a.net.Forward(bInv, true)
-			loss, grad, err := nn.MSE(out, bVar)
+		a.perm, a.batches = nn.MinibatchesInto(len(inv), a.cfg.BatchSize, rng, a.perm, a.batches)
+		for _, idx := range a.batches {
+			nn.GatherInto(&a.bInv, inv, idx)
+			nn.GatherInto(&a.bVar, vr, idx)
+			out := a.net.ForwardT(&a.bInv, true)
+			loss, err := nn.MSET(out, &a.bVar, &a.grad)
 			if err != nil {
 				return fmt.Errorf("core: ae epoch %d: %w", epoch, err)
 			}
-			a.net.Backward(grad)
+			a.net.BackwardT(&a.grad)
 			opt.Step(params)
 			lossSum += loss
 			batches++

@@ -11,6 +11,15 @@ import (
 // with partial pivoting. a must be square; b may have multiple columns.
 // Neither input is modified.
 func Solve(a, b *Matrix) (*Matrix, error) {
+	return SolveInto(a, b, new(Matrix), new(Matrix), new(Matrix))
+}
+
+// SolveInto is Solve with caller-owned workspaces: aw and bw receive the
+// elimination working copies of a and b, and the solution is written into x
+// (all three reshaped as needed). Returns x. The elimination and
+// back-substitution arithmetic is identical to Solve, operation for
+// operation, so reusing workspaces never changes a result.
+func SolveInto(a, b, aw, bw, x *Matrix) (*Matrix, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("%w: coefficient matrix is %dx%d", ErrShape, a.rows, a.cols)
 	}
@@ -19,8 +28,8 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 	}
 	n := a.rows
 	// Augmented working copies.
-	aw := a.Clone()
-	bw := b.Clone()
+	aw.CopyFrom(a)
+	bw.CopyFrom(b)
 
 	for col := 0; col < n; col++ {
 		// Partial pivot.
@@ -54,8 +63,9 @@ func Solve(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	// Back substitution.
-	x := New(n, bw.cols)
+	// Back substitution (every x entry is written before it is read, so the
+	// workspace needs no zeroing).
+	x.Reset(n, bw.cols)
 	for c := 0; c < bw.cols; c++ {
 		for r := n - 1; r >= 0; r-- {
 			s := bw.At(r, c)
@@ -82,6 +92,17 @@ func Inverse(a *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: %dx%d", ErrShape, a.rows, a.cols)
 	}
 	return Solve(a, Identity(a.rows))
+}
+
+// InverseInto is Inverse with caller-owned workspaces: ident holds the
+// identity right-hand side, aw/bw the elimination working copies, and the
+// inverse is written into x. Returns x.
+func InverseInto(a, ident, aw, bw, x *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: %dx%d", ErrShape, a.rows, a.cols)
+	}
+	ident.SetIdentity(a.rows)
+	return SolveInto(a, ident, aw, bw, x)
 }
 
 // Cholesky computes the lower-triangular factor L with a = L*Lᵀ.
@@ -155,10 +176,7 @@ func CovarianceWorkers(x *Matrix, workers int) (*Matrix, error) {
 		means[j] /= float64(n)
 	}
 	cov := New(d, d)
-	workers = par.Resolve(workers)
-	if workers > 1 && n*d*d < parallelFlopThreshold {
-		workers = 1
-	}
+	workers = par.WorkersFor(workers, int64(n)*int64(d)*int64(d))
 	if workers == 1 {
 		// Sequential path: one pass over the samples, upper triangle only.
 		for i := 0; i < n; i++ {

@@ -87,6 +87,41 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// Reset reshapes m to rows×cols, reusing the existing backing array when it
+// is large enough (the workspace primitive behind the *Into variants). The
+// contents after Reset are undefined. Returns m for chaining.
+func (m *Matrix) Reset(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	}
+	m.data = m.data[:n]
+	m.rows, m.cols = rows, cols
+	return m
+}
+
+// CopyFrom reshapes m to src's shape and copies src's contents into it.
+func (m *Matrix) CopyFrom(src *Matrix) *Matrix {
+	m.Reset(src.rows, src.cols)
+	copy(m.data, src.data)
+	return m
+}
+
+// SetIdentity reshapes m to n×n and fills it with the identity.
+func (m *Matrix) SetIdentity(n int) *Matrix {
+	m.Reset(n, n)
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
 // Dims returns the (rows, cols) of the matrix.
 func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
 
@@ -191,21 +226,12 @@ func MulWorkers(a, b *Matrix, workers int) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: %dx%d * %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
-	workers = par.Resolve(workers)
-	// Goroutine startup costs ~µs each; don't spawn for products whose
-	// total flop count is smaller than that.
-	if workers > 1 && a.rows*a.cols*b.cols < parallelFlopThreshold {
-		workers = 1
-	}
+	workers = par.WorkersFor(workers, int64(a.rows)*int64(a.cols)*int64(b.cols))
 	par.Blocks(workers, a.rows, func(lo, hi int) {
 		mulRows(a, b, out, lo, hi)
 	})
 	return out, nil
 }
-
-// parallelFlopThreshold is the approximate operation count below which a
-// parallel kernel falls back to the sequential path.
-const parallelFlopThreshold = 1 << 15
 
 // mulRows computes output rows [lo, hi) of out = a*b. Row blocks are
 // disjoint, so concurrent calls on distinct ranges never race.
@@ -245,10 +271,16 @@ func MulVec(a *Matrix, x []float64) ([]float64, error) {
 // SubMatrix extracts the rows and columns listed in rowIdx and colIdx (in
 // order, duplicates allowed).
 func (m *Matrix) SubMatrix(rowIdx, colIdx []int) (*Matrix, error) {
+	return m.SubMatrixInto(new(Matrix), rowIdx, colIdx)
+}
+
+// SubMatrixInto is SubMatrix writing into the caller-owned dst (reshaped as
+// needed). Returns dst.
+func (m *Matrix) SubMatrixInto(dst *Matrix, rowIdx, colIdx []int) (*Matrix, error) {
 	if len(rowIdx) == 0 || len(colIdx) == 0 {
 		return nil, fmt.Errorf("%w: empty index set", ErrShape)
 	}
-	out := New(len(rowIdx), len(colIdx))
+	out := dst.Reset(len(rowIdx), len(colIdx))
 	for i, ri := range rowIdx {
 		if ri < 0 || ri >= m.rows {
 			return nil, fmt.Errorf("%w: row index %d out of range", ErrShape, ri)

@@ -17,13 +17,20 @@ type BatchNorm struct {
 	gamma, beta             *Param
 	runningMean, runningVar []float64
 
-	// forward caches
-	xHat     [][]float64
-	std      []float64
-	batchLen int
+	// forward caches and scratch (reused across batches)
+	trainPass  bool // last forward used batch statistics
+	xHat       Tensor
+	mean, vari []float64
+	std        []float64
+	batchLen   int
+	out        Tensor
+	gradIn     Tensor
+	sumG       []float64
+	sumGX      []float64
+	legacy     legacyIO
 }
 
-var _ Layer = (*BatchNorm)(nil)
+var _ TensorLayer = (*BatchNorm)(nil)
 
 // NewBatchNorm creates a batch-normalization layer over dim features.
 func NewBatchNorm(dim int) *BatchNorm {
@@ -38,6 +45,11 @@ func NewBatchNorm(dim int) *BatchNorm {
 		beta:        NewParam(fmt.Sprintf("bn%d.beta", dim), dim),
 		runningMean: make([]float64, dim),
 		runningVar:  make([]float64, dim),
+		mean:        make([]float64, dim),
+		vari:        make([]float64, dim),
+		std:         make([]float64, dim),
+		sumG:        make([]float64, dim),
+		sumGX:       make([]float64, dim),
 	}
 	for i := range bn.gamma.Data {
 		bn.gamma.Data[i] = 1
@@ -49,34 +61,45 @@ func NewBatchNorm(dim int) *BatchNorm {
 // Forward normalizes the batch (training) or applies running stats
 // (inference).
 func (bn *BatchNorm) Forward(x [][]float64, train bool) [][]float64 {
-	n := len(x)
-	out := make([][]float64, n)
+	return legacyForward(bn, &bn.legacy, x, train)
+}
+
+// ForwardT normalizes the batch in place.
+func (bn *BatchNorm) ForwardT(x *Tensor, train bool) *Tensor {
+	n := x.rows
+	out := bn.out.Reset(n, bn.Dim)
 	if !train || n == 1 {
 		// Inference path (also used for degenerate single-sample batches).
-		bn.xHat = nil
-		for i, row := range x {
-			o := make([]float64, bn.Dim)
+		bn.trainPass = false
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			o := out.Row(i)
 			for j, v := range row {
 				xh := (v - bn.runningMean[j]) / math.Sqrt(bn.runningVar[j]+bn.Eps)
 				o[j] = bn.gamma.Data[j]*xh + bn.beta.Data[j]
 			}
-			out[i] = o
 		}
 		return out
 	}
 
-	mean := make([]float64, bn.Dim)
-	for _, row := range x {
-		for j, v := range row {
+	mean := bn.mean
+	for j := range mean {
+		mean[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
 			mean[j] += v
 		}
 	}
 	for j := range mean {
 		mean[j] /= float64(n)
 	}
-	variance := make([]float64, bn.Dim)
-	for _, row := range x {
-		for j, v := range row {
+	variance := bn.vari
+	for j := range variance {
+		variance[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
 			d := v - mean[j]
 			variance[j] += d * d
 		}
@@ -85,21 +108,20 @@ func (bn *BatchNorm) Forward(x [][]float64, train bool) [][]float64 {
 		variance[j] /= float64(n)
 	}
 
-	bn.std = make([]float64, bn.Dim)
 	for j := range bn.std {
 		bn.std[j] = math.Sqrt(variance[j] + bn.Eps)
 	}
-	bn.xHat = make([][]float64, n)
+	xHat := bn.xHat.Reset(n, bn.Dim)
+	bn.trainPass = true
 	bn.batchLen = n
-	for i, row := range x {
-		xh := make([]float64, bn.Dim)
-		o := make([]float64, bn.Dim)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		xh := xHat.Row(i)
+		o := out.Row(i)
 		for j, v := range row {
 			xh[j] = (v - mean[j]) / bn.std[j]
 			o[j] = bn.gamma.Data[j]*xh[j] + bn.beta.Data[j]
 		}
-		bn.xHat[i] = xh
-		out[i] = o
 	}
 	for j := range mean {
 		bn.runningMean[j] = (1-bn.Momentum)*bn.runningMean[j] + bn.Momentum*mean[j]
@@ -110,37 +132,48 @@ func (bn *BatchNorm) Forward(x [][]float64, train bool) [][]float64 {
 
 // Backward implements the standard batch-norm gradient.
 func (bn *BatchNorm) Backward(gradOut [][]float64) [][]float64 {
-	if bn.xHat == nil {
+	return legacyBackward(bn, &bn.legacy, gradOut)
+}
+
+// BackwardT implements the standard batch-norm gradient in place.
+func (bn *BatchNorm) BackwardT(gradOut *Tensor) *Tensor {
+	gradIn := bn.gradIn.Reset(gradOut.rows, bn.Dim)
+	if !bn.trainPass {
 		// Inference-mode backward (running stats treated as constants).
-		gradIn := make([][]float64, len(gradOut))
-		for i, gRow := range gradOut {
-			gi := make([]float64, bn.Dim)
+		for i := 0; i < gradOut.rows; i++ {
+			gRow := gradOut.Row(i)
+			gi := gradIn.Row(i)
 			for j, g := range gRow {
 				gi[j] = g * bn.gamma.Data[j] / math.Sqrt(bn.runningVar[j]+bn.Eps)
 			}
-			gradIn[i] = gi
 		}
 		return gradIn
 	}
 	n := float64(bn.batchLen)
-	sumG := make([]float64, bn.Dim)  // Σ dL/dy
-	sumGX := make([]float64, bn.Dim) // Σ dL/dy · x̂
-	for i, gRow := range gradOut {
+	sumG := bn.sumG   // Σ dL/dy
+	sumGX := bn.sumGX // Σ dL/dy · x̂
+	for j := range sumG {
+		sumG[j] = 0
+		sumGX[j] = 0
+	}
+	for i := 0; i < gradOut.rows; i++ {
+		gRow := gradOut.Row(i)
+		xh := bn.xHat.Row(i)
 		for j, g := range gRow {
 			sumG[j] += g
-			sumGX[j] += g * bn.xHat[i][j]
+			sumGX[j] += g * xh[j]
 			bn.beta.Grad[j] += g
-			bn.gamma.Grad[j] += g * bn.xHat[i][j]
+			bn.gamma.Grad[j] += g * xh[j]
 		}
 	}
-	gradIn := make([][]float64, len(gradOut))
-	for i, gRow := range gradOut {
-		gi := make([]float64, bn.Dim)
+	for i := 0; i < gradOut.rows; i++ {
+		gRow := gradOut.Row(i)
+		xh := bn.xHat.Row(i)
+		gi := gradIn.Row(i)
 		for j, g := range gRow {
 			gi[j] = bn.gamma.Data[j] / (n * bn.std[j]) *
-				(n*g - sumG[j] - bn.xHat[i][j]*sumGX[j])
+				(n*g - sumG[j] - xh[j]*sumGX[j])
 		}
-		gradIn[i] = gi
 	}
 	return gradIn
 }

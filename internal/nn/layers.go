@@ -17,15 +17,74 @@ type Layer interface {
 	Params() []*Param
 }
 
+// TensorLayer is the flat hot path implemented by every built-in layer:
+// ForwardT/BackwardT run the same arithmetic as Forward/Backward (bit for
+// bit — pinned by the golden tests in tensor_test.go) over row-major Tensor
+// batches, writing into per-layer scratch buffers that are reused across
+// calls. The returned tensor is the layer's scratch (or, for identity
+// layers, the input itself) and is valid until the layer's next call.
+type TensorLayer interface {
+	Layer
+	ForwardT(x *Tensor, train bool) *Tensor
+	BackwardT(gradOut *Tensor) *Tensor
+}
+
+// legacyIO is the conversion scratch behind the slice-of-slices adapter:
+// the old Forward/Backward API is a thin wrapper that copies into a reusable
+// input tensor, runs the flat kernel, and copies the result out fresh
+// (callers own and may retain the returned rows, as before).
+type legacyIO struct {
+	in, grad Tensor
+}
+
+func legacyForward(l TensorLayer, io *legacyIO, x [][]float64, train bool) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	io.in.SetFromRows(x)
+	return l.ForwardT(&io.in, train).ToRows()
+}
+
+func legacyBackward(l TensorLayer, io *legacyIO, gradOut [][]float64) [][]float64 {
+	if len(gradOut) == 0 {
+		return gradOut
+	}
+	io.grad.SetFromRows(gradOut)
+	return l.BackwardT(&io.grad).ToRows()
+}
+
+// LayerForwardT runs l's flat path, adapting through the slice API for
+// custom layers that do not implement TensorLayer (the compat path
+// allocates; every layer in this package takes the flat path).
+func LayerForwardT(l Layer, x *Tensor, train bool) *Tensor {
+	if tl, ok := l.(TensorLayer); ok {
+		return tl.ForwardT(x, train)
+	}
+	out := &Tensor{}
+	return out.SetFromRows(l.Forward(x.ToRows(), train))
+}
+
+// LayerBackwardT is the backward counterpart of LayerForwardT.
+func LayerBackwardT(l Layer, gradOut *Tensor) *Tensor {
+	if tl, ok := l.(TensorLayer); ok {
+		return tl.BackwardT(gradOut)
+	}
+	out := &Tensor{}
+	return out.SetFromRows(l.Backward(gradOut.ToRows()))
+}
+
 // Dense is a fully-connected layer: y = x·Wᵀ + b.
 type Dense struct {
 	In, Out int
 
-	w, b  *Param
-	input [][]float64
+	w, b   *Param
+	input  *Tensor // caller-owned; stable between ForwardT and BackwardT
+	out    Tensor
+	gradIn Tensor
+	legacy legacyIO
 }
 
-var _ Layer = (*Dense)(nil)
+var _ TensorLayer = (*Dense)(nil)
 
 // NewDense creates a dense layer with He-uniform initialization.
 func NewDense(in, out int, rng *rand.Rand) *Dense {
@@ -46,11 +105,17 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 }
 
 // Forward computes the affine map for a batch.
-func (d *Dense) Forward(x [][]float64, _ bool) [][]float64 {
+func (d *Dense) Forward(x [][]float64, train bool) [][]float64 {
+	return legacyForward(d, &d.legacy, x, train)
+}
+
+// ForwardT computes the affine map in place.
+func (d *Dense) ForwardT(x *Tensor, _ bool) *Tensor {
 	d.input = x
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		o := make([]float64, d.Out)
+	out := d.out.Reset(x.rows, d.Out)
+	for i := 0; i < x.rows; i++ {
+		row := x.Row(i)
+		o := out.Row(i)
 		copy(o, d.b.Data)
 		for j, v := range row {
 			if v == 0 {
@@ -61,17 +126,27 @@ func (d *Dense) Forward(x [][]float64, _ bool) [][]float64 {
 				o[k] += v * w
 			}
 		}
-		out[i] = o
 	}
 	return out
 }
 
 // Backward accumulates dL/dW, dL/db and returns dL/dx.
 func (d *Dense) Backward(gradOut [][]float64) [][]float64 {
-	gradIn := make([][]float64, len(gradOut))
-	for i, gRow := range gradOut {
-		in := d.input[i]
-		gi := make([]float64, d.In)
+	return legacyBackward(d, &d.legacy, gradOut)
+}
+
+// BackwardT accumulates dL/dW, dL/db and returns dL/dx in place.
+func (d *Dense) BackwardT(gradOut *Tensor) *Tensor {
+	gradIn := d.gradIn.Reset(gradOut.rows, d.In)
+	if d.input.cols != d.In {
+		// Degenerate narrow input: the uncovered tail of each gradient row
+		// must read as zero, as the allocating implementation guaranteed.
+		gradIn.ZeroReset(gradOut.rows, d.In)
+	}
+	for i := 0; i < gradOut.rows; i++ {
+		gRow := gradOut.Row(i)
+		in := d.input.Row(i)
+		gi := gradIn.Row(i)
 		for j, v := range in {
 			wRow := d.w.Data[j*d.Out : (j+1)*d.Out]
 			gwRow := d.w.Grad[j*d.Out : (j+1)*d.Out]
@@ -85,7 +160,6 @@ func (d *Dense) Backward(gradOut [][]float64) [][]float64 {
 		for k, g := range gRow {
 			d.b.Grad[k] += g
 		}
-		gradIn[i] = gi
 	}
 	return gradIn
 }
@@ -97,32 +171,36 @@ func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 type activation struct {
 	fn    func(float64) float64
 	deriv func(x, y float64) float64 // derivative given input x and output y
-	input [][]float64
-	out   [][]float64
+
+	input  *Tensor
+	out    Tensor
+	gradIn Tensor
+	legacy legacyIO
 }
 
-func (a *activation) Forward(x [][]float64, _ bool) [][]float64 {
+var _ TensorLayer = (*activation)(nil)
+
+func (a *activation) Forward(x [][]float64, train bool) [][]float64 {
+	return legacyForward(a, &a.legacy, x, train)
+}
+
+func (a *activation) ForwardT(x *Tensor, _ bool) *Tensor {
 	a.input = x
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		o := make([]float64, len(row))
-		for j, v := range row {
-			o[j] = a.fn(v)
-		}
-		out[i] = o
+	out := a.out.Reset(x.rows, x.cols)
+	for i, v := range x.data {
+		out.data[i] = a.fn(v)
 	}
-	a.out = out
 	return out
 }
 
 func (a *activation) Backward(gradOut [][]float64) [][]float64 {
-	gradIn := make([][]float64, len(gradOut))
-	for i, gRow := range gradOut {
-		gi := make([]float64, len(gRow))
-		for j, g := range gRow {
-			gi[j] = g * a.deriv(a.input[i][j], a.out[i][j])
-		}
-		gradIn[i] = gi
+	return legacyBackward(a, &a.legacy, gradOut)
+}
+
+func (a *activation) BackwardT(gradOut *Tensor) *Tensor {
+	gradIn := a.gradIn.Reset(gradOut.rows, gradOut.cols)
+	for i, g := range gradOut.data {
+		gradIn.data[i] = g * a.deriv(a.input.data[i], a.out.data[i])
 	}
 	return gradIn
 }
@@ -187,10 +265,14 @@ type Dropout struct {
 	P   float64
 	rng *rand.Rand
 
-	mask [][]float64
+	mask    Tensor
+	hasMask bool
+	out     Tensor
+	gradIn  Tensor
+	legacy  legacyIO
 }
 
-var _ Layer = (*Dropout)(nil)
+var _ TensorLayer = (*Dropout)(nil)
 
 // NewDropout creates a dropout layer with drop probability p.
 func NewDropout(p float64, rng *rand.Rand) *Dropout {
@@ -203,39 +285,51 @@ func NewDropout(p float64, rng *rand.Rand) *Dropout {
 // Forward applies the dropout mask in training mode.
 func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
 	if !train || d.P == 0 {
-		d.mask = nil
+		d.hasMask = false
+		return x
+	}
+	return legacyForward(d, &d.legacy, x, train)
+}
+
+// ForwardT applies the dropout mask in training mode; at inference it
+// returns x unchanged.
+func (d *Dropout) ForwardT(x *Tensor, train bool) *Tensor {
+	if !train || d.P == 0 {
+		d.hasMask = false
 		return x
 	}
 	scale := 1 / (1 - d.P)
-	out := make([][]float64, len(x))
-	d.mask = make([][]float64, len(x))
-	for i, row := range x {
-		o := make([]float64, len(row))
-		m := make([]float64, len(row))
-		for j, v := range row {
-			if d.rng.Float64() >= d.P {
-				m[j] = scale
-				o[j] = v * scale
-			}
+	out := d.out.Reset(x.rows, x.cols)
+	mask := d.mask.Reset(x.rows, x.cols)
+	d.hasMask = true
+	for i, v := range x.data {
+		if d.rng.Float64() >= d.P {
+			mask.data[i] = scale
+			out.data[i] = v * scale
+		} else {
+			mask.data[i] = 0
+			out.data[i] = 0
 		}
-		out[i] = o
-		d.mask[i] = m
 	}
 	return out
 }
 
 // Backward routes gradients through the surviving units.
 func (d *Dropout) Backward(gradOut [][]float64) [][]float64 {
-	if d.mask == nil {
+	if !d.hasMask {
 		return gradOut
 	}
-	gradIn := make([][]float64, len(gradOut))
-	for i, gRow := range gradOut {
-		gi := make([]float64, len(gRow))
-		for j, g := range gRow {
-			gi[j] = g * d.mask[i][j]
-		}
-		gradIn[i] = gi
+	return legacyBackward(d, &d.legacy, gradOut)
+}
+
+// BackwardT routes gradients through the surviving units.
+func (d *Dropout) BackwardT(gradOut *Tensor) *Tensor {
+	if !d.hasMask {
+		return gradOut
+	}
+	gradIn := d.gradIn.Reset(gradOut.rows, gradOut.cols)
+	for i, g := range gradOut.data {
+		gradIn.data[i] = g * d.mask.data[i]
 	}
 	return gradIn
 }
@@ -248,24 +342,31 @@ func (d *Dropout) Params() []*Param { return nil }
 // used by the DANN baseline).
 type GradReverse struct {
 	Lambda float64
+
+	gradIn Tensor
+	legacy legacyIO
 }
 
-var _ Layer = (*GradReverse)(nil)
+var _ TensorLayer = (*GradReverse)(nil)
 
 // Forward is the identity.
 func (g *GradReverse) Forward(x [][]float64, _ bool) [][]float64 { return x }
 
+// ForwardT is the identity.
+func (g *GradReverse) ForwardT(x *Tensor, _ bool) *Tensor { return x }
+
 // Backward negates and scales the gradient.
 func (g *GradReverse) Backward(gradOut [][]float64) [][]float64 {
-	out := make([][]float64, len(gradOut))
-	for i, row := range gradOut {
-		o := make([]float64, len(row))
-		for j, v := range row {
-			o[j] = -g.Lambda * v
-		}
-		out[i] = o
+	return legacyBackward(g, &g.legacy, gradOut)
+}
+
+// BackwardT negates and scales the gradient.
+func (g *GradReverse) BackwardT(gradOut *Tensor) *Tensor {
+	gradIn := g.gradIn.Reset(gradOut.rows, gradOut.cols)
+	for i, v := range gradOut.data {
+		gradIn.data[i] = -g.Lambda * v
 	}
-	return out
+	return gradIn
 }
 
 // Params returns nil; the layer has no parameters.

@@ -81,6 +81,61 @@ func BCEWithLogits(logits [][]float64, targets []float64) (float64, [][]float64,
 	return loss / n, grad, nil
 }
 
+// BCEWithLogitsT is BCEWithLogits on the flat path: the gradient is written
+// into grad (reshaped to match logits) instead of freshly allocated. The
+// arithmetic — including the per-row accumulation order — matches
+// BCEWithLogits exactly.
+func BCEWithLogitsT(logits *Tensor, targets []float64, grad *Tensor) (float64, error) {
+	if logits.rows != len(targets) {
+		return 0, fmt.Errorf("nn: %d logit rows for %d targets", logits.rows, len(targets))
+	}
+	if logits.rows == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	if logits.cols != 1 {
+		return 0, fmt.Errorf("nn: BCE logit rows have %d values, want 1", logits.cols)
+	}
+	n := float64(logits.rows)
+	grad.Reset(logits.rows, 1)
+	var loss float64
+	for i := 0; i < logits.rows; i++ {
+		z := logits.data[i]
+		t := targets[i]
+		loss += math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))
+		sig := 1 / (1 + math.Exp(-z))
+		grad.data[i] = (sig - t) / n
+	}
+	return loss / n, nil
+}
+
+// MSET is MSE on the flat path: the gradient is written into grad (reshaped
+// to match pred) instead of freshly allocated. Same two-pass arithmetic as
+// MSE, bit for bit.
+func MSET(pred, target *Tensor, grad *Tensor) (float64, error) {
+	if pred.rows != target.rows {
+		return 0, fmt.Errorf("nn: %d predictions for %d targets", pred.rows, target.rows)
+	}
+	if pred.rows == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	if pred.cols != target.cols {
+		return 0, fmt.Errorf("nn: width mismatch %d vs %d", pred.cols, target.cols)
+	}
+	var loss float64
+	var count float64
+	grad.Reset(pred.rows, pred.cols)
+	for i, v := range pred.data {
+		d := v - target.data[i]
+		loss += d * d
+		grad.data[i] = 2 * d
+		count++
+	}
+	for i := range grad.data {
+		grad.data[i] /= count
+	}
+	return loss / count, nil
+}
+
 // MSE computes the mean squared error between prediction and target
 // batches, with gradient w.r.t. the predictions.
 func MSE(pred, target [][]float64) (float64, [][]float64, error) {

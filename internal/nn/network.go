@@ -7,9 +7,11 @@ import (
 // Network is an ordered stack of layers trained end-to-end.
 type Network struct {
 	Layers []Layer
+
+	legacy legacyIO
 }
 
-var _ Layer = (*Network)(nil)
+var _ TensorLayer = (*Network)(nil)
 
 // NewNetwork stacks the given layers.
 func NewNetwork(layers ...Layer) *Network {
@@ -18,8 +20,17 @@ func NewNetwork(layers ...Layer) *Network {
 
 // Forward runs the batch through all layers.
 func (n *Network) Forward(x [][]float64, train bool) [][]float64 {
+	if len(n.Layers) == 0 || len(x) == 0 {
+		return x
+	}
+	return legacyForward(n, &n.legacy, x, train)
+}
+
+// ForwardT runs the batch through all layers on the flat path. The result
+// is the last layer's scratch buffer, valid until that layer's next call.
+func (n *Network) ForwardT(x *Tensor, train bool) *Tensor {
 	for _, l := range n.Layers {
-		x = l.Forward(x, train)
+		x = LayerForwardT(l, x, train)
 	}
 	return x
 }
@@ -27,8 +38,16 @@ func (n *Network) Forward(x [][]float64, train bool) [][]float64 {
 // Backward runs the gradient back through all layers and returns the
 // gradient w.r.t. the network input.
 func (n *Network) Backward(gradOut [][]float64) [][]float64 {
+	if len(n.Layers) == 0 || len(gradOut) == 0 {
+		return gradOut
+	}
+	return legacyBackward(n, &n.legacy, gradOut)
+}
+
+// BackwardT runs the gradient back through all layers on the flat path.
+func (n *Network) BackwardT(gradOut *Tensor) *Tensor {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
-		gradOut = n.Layers[i].Backward(gradOut)
+		gradOut = LayerBackwardT(n.Layers[i], gradOut)
 	}
 	return gradOut
 }
@@ -78,7 +97,8 @@ func NewMLP(cfg MLPConfig) *Network {
 // Minibatches yields index batches of the given size in shuffled order.
 // The final short batch is included when it has at least two samples
 // (single-sample batches break batch statistics); a final singleton is
-// merged into the previous batch.
+// merged into the previous batch. MinibatchesInto (tensor.go) is the
+// allocation-free variant for training loops.
 func Minibatches(n, batchSize int, rng *rand.Rand) [][]int {
 	if batchSize <= 0 {
 		batchSize = n
@@ -101,7 +121,8 @@ func Minibatches(n, batchSize int, rng *rand.Rand) [][]int {
 }
 
 // Gather selects the given rows of x into a new batch (rows are shared, not
-// copied — layers do not mutate their inputs).
+// copied — layers do not mutate their inputs). GatherInto (tensor.go) is
+// the allocation-free tensor variant.
 func Gather(x [][]float64, idx []int) [][]float64 {
 	out := make([][]float64, len(idx))
 	for i, j := range idx {

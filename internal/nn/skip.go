@@ -9,9 +9,13 @@ type SkipConcat struct {
 	Inner Layer
 
 	inWidth int
+	out     Tensor
+	gradH   Tensor
+	gradIn  Tensor
+	legacy  legacyIO
 }
 
-var _ Layer = (*SkipConcat)(nil)
+var _ TensorLayer = (*SkipConcat)(nil)
 
 // NewSkipConcat wraps the inner layer (often a *Network).
 func NewSkipConcat(inner Layer) *SkipConcat {
@@ -20,11 +24,20 @@ func NewSkipConcat(inner Layer) *SkipConcat {
 
 // Forward computes [inner(x), x] row-wise.
 func (s *SkipConcat) Forward(x [][]float64, train bool) [][]float64 {
-	if len(x) > 0 {
-		s.inWidth = len(x[0])
+	return legacyForward(s, &s.legacy, x, train)
+}
+
+// ForwardT computes [inner(x), x] in place.
+func (s *SkipConcat) ForwardT(x *Tensor, train bool) *Tensor {
+	s.inWidth = x.cols
+	h := LayerForwardT(s.Inner, x, train)
+	out := s.out.Reset(x.rows, h.cols+x.cols)
+	for i := 0; i < x.rows; i++ {
+		row := out.Row(i)
+		copy(row[:h.cols], h.Row(i))
+		copy(row[h.cols:], x.Row(i))
 	}
-	h := s.Inner.Forward(x, train)
-	return ConcatRows(h, x)
+	return out
 }
 
 // Backward splits the incoming gradient into the inner-path part and the
@@ -33,23 +46,27 @@ func (s *SkipConcat) Backward(gradOut [][]float64) [][]float64 {
 	if len(gradOut) == 0 {
 		return gradOut
 	}
-	hWidth := len(gradOut[0]) - s.inWidth
-	gradH := make([][]float64, len(gradOut))
-	gradSkip := make([][]float64, len(gradOut))
-	for i, row := range gradOut {
-		gradH[i] = row[:hWidth]
-		gradSkip[i] = row[hWidth:]
+	return legacyBackward(s, &s.legacy, gradOut)
+}
+
+// BackwardT splits the incoming gradient and sums the two input gradients.
+func (s *SkipConcat) BackwardT(gradOut *Tensor) *Tensor {
+	hWidth := gradOut.cols - s.inWidth
+	gradH := s.gradH.Reset(gradOut.rows, hWidth)
+	for i := 0; i < gradOut.rows; i++ {
+		copy(gradH.Row(i), gradOut.Row(i)[:hWidth])
 	}
-	gradIn := s.Inner.Backward(gradH)
-	out := make([][]float64, len(gradIn))
-	for i := range gradIn {
-		r := make([]float64, s.inWidth)
+	inner := LayerBackwardT(s.Inner, gradH)
+	gradIn := s.gradIn.Reset(gradOut.rows, s.inWidth)
+	for i := 0; i < gradOut.rows; i++ {
+		skip := gradOut.Row(i)[hWidth:]
+		innerRow := inner.Row(i)
+		gi := gradIn.Row(i)
 		for j := 0; j < s.inWidth; j++ {
-			r[j] = gradIn[i][j] + gradSkip[i][j]
+			gi[j] = innerRow[j] + skip[j]
 		}
-		out[i] = r
 	}
-	return out
+	return gradIn
 }
 
 // Params returns the inner stack's parameters.

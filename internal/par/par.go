@@ -29,6 +29,24 @@ func Resolve(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ParallelWorkThreshold is the approximate per-call operation count below
+// which spawning goroutines costs more than it saves (goroutine startup is
+// ~µs each). Numeric kernels route their worker counts through WorkersFor
+// so small inputs always take the exact sequential path.
+const ParallelWorkThreshold = 1 << 15
+
+// WorkersFor resolves a Workers configuration value (Resolve semantics) and
+// then degrades it to 1 when the kernel's total operation count is below
+// ParallelWorkThreshold. This is the one place the "too small to
+// parallelize" decision lives; TestWorkersForThreshold pins the boundary.
+func WorkersFor(workers int, work int64) int {
+	workers = Resolve(workers)
+	if workers > 1 && work < ParallelWorkThreshold {
+		return 1
+	}
+	return workers
+}
+
 // TaskPanic wraps a panic raised inside a parallel task so the caller can
 // tell which index failed. When several tasks panic concurrently, the one
 // with the smallest index is kept.

@@ -1,0 +1,27 @@
+package par
+
+import "testing"
+
+// TestWorkersForThreshold pins the small-input degradation boundary: work
+// below ParallelWorkThreshold always takes the exact sequential path, work
+// at or above it keeps the resolved worker count.
+func TestWorkersForThreshold(t *testing.T) {
+	if got := WorkersFor(8, ParallelWorkThreshold-1); got != 1 {
+		t.Errorf("WorkersFor(8, threshold-1) = %d, want 1", got)
+	}
+	if got := WorkersFor(8, ParallelWorkThreshold); got != 8 {
+		t.Errorf("WorkersFor(8, threshold) = %d, want 8", got)
+	}
+	if got := WorkersFor(1, 1<<40); got != 1 {
+		t.Errorf("WorkersFor(1, huge) = %d, want 1", got)
+	}
+	if got := WorkersFor(2, 0); got != 1 {
+		t.Errorf("WorkersFor(2, 0) = %d, want 1", got)
+	}
+	if got, want := WorkersFor(0, 1<<40), Resolve(0); got != want {
+		t.Errorf("WorkersFor(0, huge) = %d, want Resolve(0) = %d", got, want)
+	}
+	if got := WorkersFor(0, 1); got != 1 {
+		t.Errorf("WorkersFor(0, tiny) = %d, want 1", got)
+	}
+}

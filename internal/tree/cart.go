@@ -64,7 +64,14 @@ func FitClassificationTree(x [][]float64, y []int, numClasses int, cfg ClassTree
 	for i := range idx {
 		idx[i] = i
 	}
-	b := &classBuilder{x: x, y: y, k: numClasses, cfg: cfg, tree: t}
+	b := &classBuilder{
+		x: x, y: y, k: numClasses, cfg: cfg, tree: t,
+		counts:     make([]float64, numClasses),
+		leftCounts: make([]float64, numClasses),
+		sorted:     make([]int, len(x)),
+		part:       make([]int, 0, len(x)),
+		perm:       make([]int, d),
+	}
 	b.build(idx, 0)
 	return t, nil
 }
@@ -75,11 +82,25 @@ type classBuilder struct {
 	k    int
 	cfg  ClassTreeConfig
 	tree *ClassificationTree
+
+	// Split-scan scratch, shared across the whole build: every buffer is
+	// fully (re)written before use and consumed before the recursion into
+	// the children, so one instance of each suffices for the entire tree.
+	counts     []float64
+	leftCounts []float64
+	sorted     []int
+	part       []int
+	perm       []int
 }
 
-// build grows the subtree for idx and returns its node index.
+// build grows the subtree for idx and returns its node index. It may
+// reorder idx in place (the stable left/right partition), which is safe:
+// callers never read idx again after the call.
 func (b *classBuilder) build(idx []int, depth int) int {
-	counts := make([]float64, b.k)
+	counts := b.counts
+	for c := range counts {
+		counts[c] = 0
+	}
 	for _, i := range idx {
 		counts[b.y[i]]++
 	}
@@ -96,14 +117,21 @@ func (b *classBuilder) build(idx []int, depth int) int {
 	if !ok {
 		return b.leaf(counts, len(idx))
 	}
-	var left, right []int
+	// Stable in-place partition: left-goers compact to the idx prefix in
+	// order, right-goers stage through the shared scratch — the same
+	// left/right orders the old append-based partition produced.
+	nl := 0
+	scratch := b.part[:0]
 	for _, i := range idx {
 		if b.x[i][feat] <= thresh {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			scratch = append(scratch, i)
 		}
 	}
+	copy(idx[nl:], scratch)
+	left, right := idx[:nl], idx[nl:]
 	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
 		return b.leaf(counts, len(idx))
 	}
@@ -135,9 +163,9 @@ func (b *classBuilder) bestSplit(idx []int, counts []float64) (int, float64, boo
 	bestFeat, bestThresh := -1, 0.0
 
 	d := len(b.x[0])
-	feats := b.cfg.Rng.Perm(d)[:b.cfg.MaxFeatures]
-	sorted := make([]int, len(idx))
-	leftCounts := make([]float64, b.k)
+	feats := permInto(b.cfg.Rng, d, b.perm)[:b.cfg.MaxFeatures]
+	sorted := b.sorted[:len(idx)]
+	leftCounts := b.leftCounts
 	for _, f := range feats {
 		copy(sorted, idx)
 		sort.Slice(sorted, func(a, c int) bool { return b.x[sorted[a]][f] < b.x[sorted[c]][f] })
@@ -169,6 +197,24 @@ func (b *classBuilder) bestSplit(idx []int, counts []float64) (int, float64, boo
 		}
 	}
 	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+// permInto fills buf with a pseudo-random permutation of [0, n), consuming
+// exactly the same rng draws — and producing exactly the same permutation —
+// as rng.Perm(n), so feature subsampling is unchanged by the buffer reuse.
+func permInto(rng *rand.Rand, n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	// Mirrors rand.Perm exactly, including the i == 0 iteration whose
+	// Intn(1) draw advances the rng state.
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
 }
 
 func giniImpurity(counts []float64, n float64) float64 {

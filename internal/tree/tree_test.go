@@ -251,3 +251,27 @@ func TestGradientBoostingImprovesWithRounds(t *testing.T) {
 			accuracy(pl, y), accuracy(ps, y))
 	}
 }
+
+// TestPermIntoMatchesPerm pins the scratch-filling permutation against
+// rand.Perm: identical permutations AND identical rng stream position, so
+// feature subsampling is unchanged by the builder's buffer reuse.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 17, 64} {
+		a := rand.New(rand.NewSource(int64(n) + 7))
+		b := rand.New(rand.NewSource(int64(n) + 7))
+		want := a.Perm(n)
+		buf := make([]int, 0)
+		got := permInto(b, n, buf)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: perm[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: rng streams diverged after permutation", n)
+		}
+	}
+}
