@@ -24,6 +24,7 @@ const benchStageMetric = "netdrift_bench_stage_seconds"
 // wall time per pipeline stage, plus a bit-identical verdict for each.
 type benchReport struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
 	Workers    int          `json:"workers"`
 	Scale      string       `json:"scale"`
 	Seed       int64        `json:"seed"`
@@ -63,10 +64,15 @@ type benchConfig struct {
 func runBench(out io.Writer, observer *obs.Observer, cfg benchConfig) error {
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		// Default the parallel pass to the physical core count, not
+		// GOMAXPROCS: a capped GOMAXPROCS (cgroup limits, GOMAXPROCS=1 in
+		// the environment) would silently benchmark "parallel" with one
+		// worker and report meaningless ~1.0 speedups.
+		workers = runtime.NumCPU()
 	}
 	rep := benchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Workers:    workers,
 		Scale:      cfg.ScaleName,
 		Seed:       cfg.Seed,

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netdrift/internal/core"
+	"netdrift/internal/experiments"
+	"netdrift/internal/obs"
+	"netdrift/internal/serve"
+)
+
+// runLoadgen benchmarks the serving path twice:
+//
+//  1. A closed-loop HTTP load generator: -conns clients hammer an
+//     in-process server over loopback for -duration, reporting request
+//     throughput and latency quantiles — the end-to-end number including
+//     JSON, HTTP, and coalescing.
+//  2. An in-process micro-benchmark of the batching win itself: the
+//     pre-batching serving approach (TransformTarget called per row,
+//     batch size 1) against AdaptBatch in MaxBatch chunks, verified
+//     bit-identical, optionally appended as a "serve" stage to the
+//     BENCH_parallel.json report.
+func runLoadgen(out io.Writer, cfg config) error {
+	o := obs.New()
+	reg := serve.NewRegistry(o)
+	bundle, err := reg.LoadFile(cfg.Bundle)
+	if err != nil {
+		return err
+	}
+	pair, err := experiments.MakePair(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	rows := pair.TargetTest.X
+	if len(rows) == 0 {
+		return fmt.Errorf("dataset %q has no target test rows", cfg.Dataset)
+	}
+
+	// --- Part 1: closed-loop HTTP load. ---
+	co := serve.NewCoalescer(reg, serve.Options{
+		MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, Workers: cfg.Workers, Obs: o,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewServer(reg, co, o)}
+	go func() { _ = srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String() + "/v1/adapt"
+
+	latency := obs.NewFixedHistogram(obs.LatencyBuckets)
+	var requests, servedRows, failures atomic.Int64
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			// Each client cycles through a different window of the test
+			// set so coalesced batches mix distinct rows.
+			pos := (c * 131) % len(rows)
+			for time.Now().Before(deadline) {
+				batch := make([][]float64, 0, cfg.RowsPerReq)
+				for len(batch) < cfg.RowsPerReq {
+					batch = append(batch, rows[pos])
+					pos = (pos + 1) % len(rows)
+				}
+				body, _ := json.Marshal(serve.AdaptRequest{Rows: batch})
+				start := time.Now()
+				res, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+				latency.Observe(time.Since(start).Seconds())
+				if res.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				requests.Add(1)
+				servedRows.Add(int64(len(batch)))
+			}
+		}(c)
+	}
+	wg.Wait()
+	srv.Close()
+	co.Close()
+
+	secs := cfg.Duration.Seconds()
+	reqRate := float64(requests.Load()) / secs
+	rowRate := float64(servedRows.Load()) / secs
+	fmt.Fprintf(out, "loadgen: bundle %q, %d conns, %s, %d rows/req (max-batch %d, workers %d)\n",
+		bundle.ID, cfg.Conns, cfg.Duration, cfg.RowsPerReq, cfg.MaxBatch, cfg.Workers)
+	fmt.Fprintf(out, "  %d requests ok, %d failed  |  %.0f req/s, %.0f rows/s\n",
+		requests.Load(), failures.Load(), reqRate, rowRate)
+	fmt.Fprintf(out, "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
+		latency.Quantile(0.5)*1e3, latency.Quantile(0.9)*1e3, latency.Quantile(0.99)*1e3)
+	if requests.Load() == 0 {
+		return fmt.Errorf("loadgen completed zero requests")
+	}
+
+	// --- Part 2: the micro-batching stage for the bench report. ---
+	st, err := serveStage(bundle, rows, cfg.MaxBatch)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serve stage: seq(batch=1) %.3fs  batched(%d) %.3fs  speedup %.2fx  allocs %d/%d  bit-identical %v\n",
+		st.SeqSeconds, cfg.MaxBatch, st.ParSeconds, st.Speedup, st.SeqAllocs, st.ParAllocs, st.BitIdentical)
+	if cfg.BenchOut != "" {
+		if err := appendServeStage(cfg.BenchOut, st); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serve stage appended to %s\n", cfg.BenchOut)
+	}
+	return nil
+}
+
+// serveStage mirrors driftbench's benchStage schema for the serving layer.
+type serveStageReport struct {
+	Name         string  `json:"name"`
+	SeqSeconds   float64 `json:"seq_seconds"`
+	ParSeconds   float64 `json:"par_seconds"`
+	Speedup      float64 `json:"speedup"`
+	SeqAllocs    uint64  `json:"seq_allocs"`
+	SeqBytes     uint64  `json:"seq_bytes"`
+	ParAllocs    uint64  `json:"par_allocs"`
+	ParBytes     uint64  `json:"par_bytes"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// serveStage measures the micro-batching win: the sequential pass serves
+// every row through the pre-batching API (TransformTarget, batch size 1 —
+// what a server would do without the coalescer); the batched pass runs the
+// same rows through AdaptBatch in maxBatch chunks with pinned noise, then
+// both outputs are compared bit for bit. Both sides repeat the row set
+// enough times to make the timing robust on small fixtures.
+func serveStage(bundle *serve.Bundle, rows [][]float64, maxBatch int) (serveStageReport, error) {
+	ad := bundle.Adapter
+	st := serveStageReport{Name: "serve"}
+	passes := 1
+	if len(rows) > 0 {
+		for passes*len(rows) < 1024 {
+			passes++
+		}
+	}
+
+	timed := func(fn func() error) (float64, uint64, uint64, error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		err := fn()
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		return secs, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+	}
+
+	var seqOut [][]float64
+	var err error
+	st.SeqSeconds, st.SeqAllocs, st.SeqBytes, err = timed(func() error {
+		one := make([][]float64, 1)
+		for p := 0; p < passes; p++ {
+			seqOut = make([][]float64, 0, len(rows))
+			for _, row := range rows {
+				one[0] = row
+				res, err := ad.TransformTarget(one)
+				if err != nil {
+					return err
+				}
+				seqOut = append(seqOut, res[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("serve stage seq: %w", err)
+	}
+
+	var scr core.AdaptScratch
+	parOut := make([][]float64, 0, len(rows))
+	seeds := make([]int64, maxBatch) // all zero: pinned noise, same as TransformTarget
+	st.ParSeconds, st.ParAllocs, st.ParBytes, err = timed(func() error {
+		for p := 0; p < passes; p++ {
+			parOut = parOut[:0]
+			for lo := 0; lo < len(rows); lo += maxBatch {
+				hi := lo + maxBatch
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				outT, err := ad.AdaptBatch(rows[lo:hi], seeds[:hi-lo], &scr)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < outT.Rows(); i++ {
+					parOut = append(parOut, append([]float64(nil), outT.Row(i)...))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("serve stage batched: %w", err)
+	}
+	if st.ParSeconds > 0 {
+		st.Speedup = st.SeqSeconds / st.ParSeconds
+	}
+
+	st.BitIdentical = len(seqOut) == len(parOut)
+	for i := 0; st.BitIdentical && i < len(seqOut); i++ {
+		if len(seqOut[i]) != len(parOut[i]) {
+			st.BitIdentical = false
+			break
+		}
+		for j := range seqOut[i] {
+			if seqOut[i][j] != parOut[i][j] {
+				st.BitIdentical = false
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+// appendServeStage adds (or replaces) the "serve" stage in the driftbench
+// report, decoding loosely so every other field the benchmark wrote is
+// preserved byte-for-byte in value terms.
+func appendServeStage(path string, st serveStageReport) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-bench-out read (run driftbench -bench first): %w", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("-bench-out parse: %w", err)
+	}
+	var stage any = toJSONValue(st)
+	stages, _ := rep["stages"].([]any)
+	replaced := false
+	for i, s := range stages {
+		if m, ok := s.(map[string]any); ok && m["name"] == "serve" {
+			stages[i] = stage
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		stages = append(stages, stage)
+	}
+	rep["stages"] = stages
+	outBlob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(outBlob, '\n'), 0o644)
+}
+
+// toJSONValue round-trips a struct through JSON into the loose form used
+// by appendServeStage.
+func toJSONValue(v any) any {
+	blob, _ := json.Marshal(v)
+	var out any
+	_ = json.Unmarshal(blob, &out)
+	return out
+}

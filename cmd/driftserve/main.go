@@ -1,0 +1,199 @@
+// Command driftserve serves a fitted adaptation bundle over HTTP with
+// micro-batch request coalescing and lock-free artifact hot-swap.
+//
+// Build a serving bundle from a synthetic drift pair:
+//
+//	driftserve -mkbundle -bundle fixture.json -dataset 5gc -scale quick
+//
+// Serve it:
+//
+//	driftserve -bundle fixture.json -addr :8100
+//	curl -s localhost:8100/healthz
+//	curl -s -X POST localhost:8100/v1/adapt -d '{"rows":[[...]],"predict":true}'
+//	curl -s localhost:8100/metrics
+//
+// Benchmark it (closed-loop load generator against an in-process server,
+// plus the micro-batching speedup stage appended to BENCH_parallel.json):
+//
+//	driftserve -bundle fixture.json -loadgen -conns 4 -duration 10s \
+//	    -bench-out BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"netdrift/internal/core"
+	"netdrift/internal/experiments"
+	"netdrift/internal/models"
+	"netdrift/internal/obs"
+	"netdrift/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "driftserve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	Bundle   string
+	Addr     string
+	MaxBatch int
+	MaxWait  time.Duration
+	Workers  int
+
+	Dataset   string
+	ScaleName string
+	Scale     experiments.Scale
+	Seed      int64
+	Shots     int
+	ID        string
+
+	Conns      int
+	Duration   time.Duration
+	RowsPerReq int
+	BenchOut   string
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("driftserve", flag.ContinueOnError)
+	var (
+		bundle   = fs.String("bundle", "bundle.json", "bundle file to serve (or write with -mkbundle)")
+		addr     = fs.String("addr", ":8100", "HTTP listen address")
+		maxBatch = fs.Int("max-batch", 32, "coalescer flush threshold in rows")
+		maxWait  = fs.Duration("max-wait", 2*time.Millisecond, "max queueing delay before a partial batch flushes")
+		workers  = fs.Int("workers", 1, "batch executor goroutines")
+
+		mkbundle = fs.Bool("mkbundle", false, "fit a bundle from a synthetic drift pair and write it to -bundle instead of serving")
+		ds       = fs.String("dataset", "5gc", "dataset for -mkbundle/-loadgen rows: 5gc|5gipc")
+		scale    = fs.String("scale", "quick", "compute scale for -mkbundle/-loadgen: quick|bench|full")
+		seed     = fs.Int64("seed", 1, "base RNG seed for -mkbundle/-loadgen")
+		shots    = fs.Int("shots", 10, "few-shot target samples per class for -mkbundle")
+		id       = fs.String("id", "", "bundle id (-mkbundle; default derived from dataset/scale/seed)")
+
+		proberow = fs.Bool("proberow", false, "print one dataset test row as a JSON array (for hand-crafting /v1/adapt requests) and exit")
+
+		loadgen    = fs.Bool("loadgen", false, "run the closed-loop load generator against an in-process server instead of serving")
+		conns      = fs.Int("conns", 4, "concurrent closed-loop clients for -loadgen")
+		duration   = fs.Duration("duration", 5*time.Second, "load generation duration")
+		rowsPerReq = fs.Int("rows-per-req", 8, "rows per request for -loadgen")
+		benchOut   = fs.String("bench-out", "", "append the serve micro-batching stage to this BENCH_parallel.json (empty = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, ok := experiments.ScaleByName(*scale)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	cfg := config{
+		Bundle: *bundle, Addr: *addr, MaxBatch: *maxBatch, MaxWait: *maxWait, Workers: *workers,
+		Dataset: *ds, ScaleName: *scale, Scale: sc, Seed: *seed, Shots: *shots, ID: *id,
+		Conns: *conns, Duration: *duration, RowsPerReq: *rowsPerReq, BenchOut: *benchOut,
+	}
+	switch {
+	case *mkbundle:
+		return runMkBundle(out, cfg)
+	case *proberow:
+		return runProbeRow(out, cfg)
+	case *loadgen:
+		return runLoadgen(out, cfg)
+	default:
+		return runServe(out, cfg)
+	}
+}
+
+// runProbeRow prints the first target-test row of the configured dataset
+// as a JSON array, sized to match what a bundle fit on that dataset
+// expects in /v1/adapt requests.
+func runProbeRow(out io.Writer, cfg config) error {
+	pair, err := experiments.MakePair(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if len(pair.TargetTest.X) == 0 {
+		return fmt.Errorf("dataset %q has no target test rows", cfg.Dataset)
+	}
+	blob, err := json.Marshal(pair.TargetTest.X[0])
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(blob))
+	return err
+}
+
+// runMkBundle fits the paper's FS+GAN adapter and downstream MLP on a
+// synthetic drift pair and writes them as one serving bundle.
+func runMkBundle(out io.Writer, cfg config) error {
+	pair, err := experiments.MakePair(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	drawRng := rand.New(rand.NewSource(cfg.Seed + 977))
+	support, _, err := pair.TargetTrain.FewShot(cfg.Shots, pair.UseGroups, drawRng)
+	if err != nil {
+		return err
+	}
+	ad := core.NewAdapter(core.AdapterConfig{
+		Mode:  core.ModeFSRecon,
+		Recon: core.ReconGAN,
+		GAN:   core.GANConfig{Epochs: cfg.Scale.GANEpochs},
+		Seed:  cfg.Seed,
+	})
+	start := time.Now()
+	if err := ad.Fit(pair.Source, support); err != nil {
+		return fmt.Errorf("fit adapter: %w", err)
+	}
+	train, err := ad.TrainingData(pair.Source)
+	if err != nil {
+		return err
+	}
+	clf := models.NewMLPClassifier(models.Options{
+		Seed: cfg.Seed, Epochs: cfg.Scale.ClassifierEpochs,
+	})
+	if err := clf.Fit(train.X, train.Y, pair.NumClasses); err != nil {
+		return fmt.Errorf("fit classifier: %w", err)
+	}
+	bundleID := cfg.ID
+	if bundleID == "" {
+		bundleID = fmt.Sprintf("%s-%s-seed%d", cfg.Dataset, cfg.ScaleName, cfg.Seed)
+	}
+	if err := serve.WriteBundleFile(cfg.Bundle, bundleID, ad, clf); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bundle %q written to %s (%d variant / %d invariant features, fit in %s)\n",
+		bundleID, cfg.Bundle, len(ad.VariantFeatures()), len(ad.InvariantFeatures()),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runServe loads the bundle and serves until the process is killed.
+func runServe(out io.Writer, cfg config) error {
+	o := obs.New()
+	reg := serve.NewRegistry(o)
+	b, err := reg.LoadFile(cfg.Bundle)
+	if err != nil {
+		return err
+	}
+	co := serve.NewCoalescer(reg, serve.Options{
+		MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, Workers: cfg.Workers, Obs: o,
+	})
+	defer co.Close()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving bundle %q on http://%s (max-batch %d, max-wait %s, workers %d)\n",
+		b.ID, ln.Addr(), cfg.MaxBatch, cfg.MaxWait, cfg.Workers)
+	srv := &http.Server{Handler: serve.NewServer(reg, co, o)}
+	return srv.Serve(ln)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMkBundleAndLoadgen exercises the full binary surface at quick scale:
+// fit + write a bundle, then run the load generator against it and append
+// the serve stage to a bench report skeleton.
+func TestMkBundleAndLoadgen(t *testing.T) {
+	dir := t.TempDir()
+	bundlePath := filepath.Join(dir, "bundle.json")
+	benchPath := filepath.Join(dir, "bench.json")
+
+	var out strings.Builder
+	err := run([]string{
+		"-mkbundle", "-bundle", bundlePath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3", "-shots", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("mkbundle: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(bundlePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// A minimal pre-existing bench report the serve stage gets appended to.
+	seedReport := `{"gomaxprocs":1,"stages":[{"name":"matmul","speedup":1}]}`
+	if err := os.WriteFile(benchPath, []byte(seedReport), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	err = run([]string{
+		"-loadgen", "-bundle", bundlePath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3",
+		"-conns", "2", "-duration", "500ms", "-rows-per-req", "4",
+		"-bench-out", benchPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "rows/s") {
+		t.Errorf("loadgen output missing throughput:\n%s", out.String())
+	}
+
+	blob, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["gomaxprocs"] != float64(1) {
+		t.Error("appending the serve stage dropped existing report fields")
+	}
+	stages, _ := rep["stages"].([]any)
+	var serveStage map[string]any
+	for _, s := range stages {
+		if m, ok := s.(map[string]any); ok && m["name"] == "serve" {
+			serveStage = m
+		}
+	}
+	if serveStage == nil {
+		t.Fatalf("no serve stage in bench report: %v", stages)
+	}
+	if serveStage["bit_identical"] != true {
+		t.Errorf("serve stage not bit-identical: %v", serveStage)
+	}
+	if serveStage["speedup"].(float64) <= 0 {
+		t.Errorf("serve stage speedup %v", serveStage["speedup"])
+	}
+
+	// Re-running replaces the serve stage instead of stacking duplicates.
+	out.Reset()
+	err = run([]string{
+		"-loadgen", "-bundle", bundlePath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3",
+		"-conns", "1", "-duration", "200ms",
+		"-bench-out", benchPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("second loadgen: %v\n%s", err, out.String())
+	}
+	blob, _ = os.ReadFile(benchPath)
+	if n := strings.Count(string(blob), `"name": "serve"`); n != 1 {
+		t.Errorf("serve stage appears %d times after re-run, want 1", n)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "nope"}, &out); err == nil {
+		t.Error("expected unknown scale error")
+	}
+	if err := run([]string{"-bundle", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("expected missing bundle error")
+	}
+}

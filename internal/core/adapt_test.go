@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSampleSeed(t *testing.T) {
+	// Zero request seed pins every row to the fixed prior draw.
+	for _, i := range []int{0, 1, 7, 1000} {
+		if got := SampleSeed(0, i); got != 0 {
+			t.Errorf("SampleSeed(0, %d) = %d, want 0", i, got)
+		}
+	}
+	// Nonzero seeds decorrelate across rows and never collapse onto the
+	// pinned-noise sentinel.
+	seen := map[int64]bool{}
+	for i := 0; i < 64; i++ {
+		s := SampleSeed(42, i)
+		if s == 0 {
+			t.Fatalf("SampleSeed(42, %d) = 0, reserved for pinned noise", i)
+		}
+		if seen[s] {
+			t.Fatalf("SampleSeed(42, %d) = %d collides with an earlier row", i, s)
+		}
+		seen[s] = true
+	}
+	// Row seeds are a pure function of (requestSeed, i).
+	if SampleSeed(42, 3) != SampleSeed(42, 3) {
+		t.Error("SampleSeed not deterministic")
+	}
+	if SampleSeed(42, 3) == SampleSeed(43, 3) {
+		t.Error("different request seeds should give different row seeds")
+	}
+}
+
+// fitServeAdapter returns a fitted FSRecon adapter (GAN reconstructor) and
+// raw target rows to serve.
+func fitServeAdapter(t *testing.T) (*Adapter, [][]float64) {
+	t.Helper()
+	src := driftToy(800, false, 8)
+	tgtSupport := driftToy(20, true, 9)
+	ad := NewAdapter(AdapterConfig{
+		Mode:  ModeFSRecon,
+		Recon: ReconGAN,
+		GAN:   GANConfig{Epochs: 10},
+		Seed:  11,
+	})
+	if err := ad.Fit(src, tgtSupport); err != nil {
+		t.Fatal(err)
+	}
+	return ad, driftToy(64, true, 10).X
+}
+
+func TestAdaptBatchMatchesTransformTarget(t *testing.T) {
+	// All-zero seeds select the pinned prior-mode noise, so the serving
+	// path must reproduce the offline TransformTarget bit for bit.
+	ad, rows := fitServeAdapter(t)
+	want, err := ad.TransformTarget(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scr AdaptScratch
+	seeds := make([]int64, len(rows))
+	out, err := ad.AdaptBatch(rows, seeds, &scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != len(want) || out.Cols() != len(want[0]) {
+		t.Fatalf("AdaptBatch shape %dx%d, want %dx%d", out.Rows(), out.Cols(), len(want), len(want[0]))
+	}
+	for i := range want {
+		got := out.Row(i)
+		for j := range want[i] {
+			if got[j] != want[i][j] {
+				t.Fatalf("AdaptBatch differs from TransformTarget at [%d][%d]: %v vs %v",
+					i, j, got[j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestAdaptBatchMatchesPerSampleAdapt(t *testing.T) {
+	// The determinism contract: a coalesced micro-batch is bit-identical
+	// to adapting each row alone with the same derived seeds, regardless
+	// of batch composition.
+	ad, rows := fitServeAdapter(t)
+	const requestSeed = 77
+	seeds := make([]int64, len(rows))
+	for i := range seeds {
+		seeds[i] = SampleSeed(requestSeed, i)
+	}
+	var batchScr AdaptScratch
+	out, err := ad.AdaptBatch(rows, seeds, &batchScr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rowScr AdaptScratch
+	for i, row := range rows {
+		single, err := ad.Adapt(row, seeds[i], &rowScr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched := out.Row(i)
+		if len(single) != len(batched) {
+			t.Fatalf("row %d width %d vs %d", i, len(single), len(batched))
+		}
+		for j := range single {
+			if single[j] != batched[j] {
+				t.Fatalf("row %d diverges at col %d: solo %v vs batched %v",
+					i, j, single[j], batched[j])
+			}
+		}
+	}
+
+	// Different seeds must actually change the draw (the noise is live).
+	other, err := ad.Adapt(rows[0], SampleSeed(requestSeed+1, 0), &rowScr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j, v := range other {
+		if v != out.Row(0)[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("changing the seed did not change the adapted row")
+	}
+}
+
+func TestAdaptBatchSubBatchInvariance(t *testing.T) {
+	// Splitting one request across two micro-batches must not change any
+	// row: noise depends on the row's seed, never on batch composition.
+	ad, rows := fitServeAdapter(t)
+	seeds := make([]int64, len(rows))
+	for i := range seeds {
+		seeds[i] = SampleSeed(123, i)
+	}
+	var scr AdaptScratch
+	whole, err := ad.AdaptBatch(rows, seeds, &scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeCopy := make([][]float64, whole.Rows())
+	for i := range wholeCopy {
+		wholeCopy[i] = append([]float64(nil), whole.Row(i)...)
+	}
+	cut := len(rows) / 3
+	var scr2 AdaptScratch
+	for _, span := range [][2]int{{0, cut}, {cut, len(rows)}} {
+		part, err := ad.AdaptBatch(rows[span[0]:span[1]], seeds[span[0]:span[1]], &scr2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < part.Rows(); i++ {
+			got := part.Row(i)
+			want := wholeCopy[span[0]+i]
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("split batch diverges at row %d col %d", span[0]+i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptBatchFSMode(t *testing.T) {
+	src := driftToy(600, false, 12)
+	tgtSupport := driftToy(20, true, 13)
+	ad := NewAdapter(AdapterConfig{Mode: ModeFS, Seed: 14})
+	if err := ad.Fit(src, tgtSupport); err != nil {
+		t.Fatal(err)
+	}
+	rows := src.X[:8]
+	want, err := ad.TransformTarget(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scr AdaptScratch
+	out, err := ad.AdaptBatch(rows, make([]int64, len(rows)), &scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cols() != len(want[0]) {
+		t.Fatalf("FS projection width %d, want %d", out.Cols(), len(want[0]))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if out.Row(i)[j] != want[i][j] {
+				t.Fatalf("FS projection differs at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestAdaptBatchErrors(t *testing.T) {
+	var scr AdaptScratch
+	unfit := NewAdapter(AdapterConfig{})
+	if _, err := unfit.AdaptBatch([][]float64{{1}}, []int64{0}, &scr); err != ErrNotFitted {
+		t.Errorf("unfitted AdaptBatch err = %v, want ErrNotFitted", err)
+	}
+	ad, rows := fitServeAdapter(t)
+	if _, err := ad.AdaptBatch(rows[:2], make([]int64, 3), &scr); err == nil {
+		t.Error("expected rows/seeds length mismatch error")
+	}
+	if _, err := ad.AdaptBatch([][]float64{{1, 2}}, []int64{0}, &scr); err == nil {
+		t.Error("expected row width mismatch error")
+	}
+	out, err := ad.AdaptBatch(nil, nil, &scr)
+	if err != nil || out.Rows() != 0 {
+		t.Errorf("empty batch: out=%dx%d err=%v", out.Rows(), out.Cols(), err)
+	}
+}
+
+func TestAdaptBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is unreliable under -race")
+	}
+	ad, rows := fitServeAdapter(t)
+	seeds := make([]int64, len(rows))
+	for i := range seeds {
+		seeds[i] = SampleSeed(5, i)
+	}
+	var scr AdaptScratch
+	if _, err := ad.AdaptBatch(rows, seeds, &scr); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ad.AdaptBatch(rows, seeds, &scr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AdaptBatch allocates %.1f allocs/op, want 0", allocs)
+	}
+}

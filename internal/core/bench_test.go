@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"testing"
+
+	"netdrift/internal/dataset"
 )
 
 // benchBlocks synthesizes an invariant/variant split with a weak linear
@@ -37,6 +39,68 @@ func BenchmarkGANEpoch(b *testing.B) {
 		g := NewCGAN(GANConfig{Epochs: 1, Seed: int64(i) + 1})
 		if err := g.Fit(inv, vr, y, 4); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchServeAdapter fits a full-width FS+GAN adapter on synthetic data
+// shaped like the 5GC dataset (hundreds of mostly-invariant features) so
+// the serving benchmarks below exercise the real generator geometry.
+func benchServeAdapter(b *testing.B) (*Adapter, [][]float64) {
+	rng := rand.New(rand.NewSource(1))
+	const n, d = 500, 442
+	mkRows := func(n int, drift float64) [][]float64 {
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, d)
+			for j := range rows[i] {
+				rows[i][j] = rng.NormFloat64()
+				if j < 50 {
+					rows[i][j] += drift
+				}
+			}
+		}
+		return rows
+	}
+	src := &dataset.Dataset{X: mkRows(n, 0), Y: make([]int, n)}
+	sup := &dataset.Dataset{X: mkRows(40, 4), Y: make([]int, 40)}
+	for i := range src.Y {
+		src.Y[i] = i % 2
+	}
+	ad := NewAdapter(AdapterConfig{Mode: ModeFSRecon, Recon: ReconGAN, GAN: GANConfig{Epochs: 2}, Seed: 1})
+	if err := ad.Fit(src, sup); err != nil {
+		b.Fatal(err)
+	}
+	return ad, src.X[:32]
+}
+
+// BenchmarkAdaptBatch32 is the serving hot path: one AdaptBatch call over
+// a 32-row micro-batch with scratch reuse (the coalescer's steady state).
+func BenchmarkAdaptBatch32(b *testing.B) {
+	ad, rows := benchServeAdapter(b)
+	var scr AdaptScratch
+	seeds := make([]int64, len(rows))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ad.AdaptBatch(rows, seeds, &scr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptPerRowLegacy serves the same 32 rows the pre-batching way:
+// one TransformTarget call per row — the baseline the serve stage of
+// BENCH_parallel.json compares against.
+func BenchmarkAdaptPerRowLegacy(b *testing.B) {
+	ad, rows := benchServeAdapter(b)
+	one := make([][]float64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			one[0] = r
+			if _, err := ad.TransformTarget(one); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

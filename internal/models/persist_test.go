@@ -1,0 +1,102 @@
+package models
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"netdrift/internal/nn"
+)
+
+func fitToyMLP(t *testing.T) (*MLPClassifier, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	x := make([][]float64, 200)
+	y := make([]int, 200)
+	for i := range x {
+		c := i % 3
+		x[i] = []float64{
+			float64(c) + 0.3*rng.NormFloat64(),
+			float64(c)*0.5 + 0.3*rng.NormFloat64(),
+			rng.NormFloat64(),
+		}
+		y[i] = c
+	}
+	m := NewMLPClassifier(Options{Seed: 3, Epochs: 5})
+	if err := m.Fit(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	return m, x[:16]
+}
+
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	m, probe := fitToyMLP(t)
+	want, err := m.PredictProba(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMLPClassifier(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.PredictProba(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("loaded classifier diverges at [%d][%d]: %v vs %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	unfit := NewMLPClassifier(Options{})
+	if err := unfit.Save(&buf); err != ErrNotFitted {
+		t.Errorf("saving unfitted classifier: err = %v, want ErrNotFitted", err)
+	}
+	if _, err := LoadMLPClassifier(bytes.NewReader([]byte(`{"version":99}`))); err == nil {
+		t.Error("expected version error")
+	}
+}
+
+func TestPredictProbaTMatchesPredictProba(t *testing.T) {
+	m, probe := fitToyMLP(t)
+	want, err := m.PredictProba(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x nn.Tensor
+	x.SetFromRows(probe)
+	var scr MLPScratch
+	out, err := m.PredictProbaT(&x, &scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != len(want) || out.Cols() != len(want[0]) {
+		t.Fatalf("shape %dx%d, want %dx%d", out.Rows(), out.Cols(), len(want), len(want[0]))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if out.Row(i)[j] != want[i][j] {
+				t.Fatalf("PredictProbaT diverges at [%d][%d]: %v vs %v", i, j, out.Row(i)[j], want[i][j])
+			}
+		}
+	}
+
+	// Width mismatch and unfitted errors.
+	var narrow nn.Tensor
+	narrow.Reset(1, 2)
+	if _, err := m.PredictProbaT(&narrow, &scr); err == nil {
+		t.Error("expected width mismatch error")
+	}
+	unfit := NewMLPClassifier(Options{})
+	if _, err := unfit.PredictProbaT(&x, &scr); err != ErrNotFitted {
+		t.Errorf("unfitted PredictProbaT: err = %v, want ErrNotFitted", err)
+	}
+}

@@ -1,0 +1,31 @@
+package nn
+
+// Portable scalar kernels for the Dense inference hot loop. On amd64 with
+// AVX-capable hardware these are replaced at runtime by the vector versions
+// in dense_kernel_amd64.s; the vector code uses only per-lane IEEE mul and
+// add (never fused multiply-add), so both implementations produce
+// bit-identical results and the golden tests in infer_test.go pin them
+// against each other and against ForwardT.
+
+// axpy4Go adds v[r]*w into each of the four output rows: o_r[k] += v[r]*w[k].
+func axpy4Go(v *[4]float64, w, o0, o1, o2, o3 []float64) {
+	w = w[:len(o0)]
+	o1 = o1[:len(w)]
+	o2 = o2[:len(w)]
+	o3 = o3[:len(w)]
+	v0, v1, v2, v3 := v[0], v[1], v[2], v[3]
+	for k, wk := range w {
+		o0[k] += v0 * wk
+		o1[k] += v1 * wk
+		o2[k] += v2 * wk
+		o3[k] += v3 * wk
+	}
+}
+
+// axpy1Go is the single-row form: o[k] += v*w[k].
+func axpy1Go(v float64, w, o []float64) {
+	w = w[:len(o)]
+	for k, wk := range w {
+		o[k] += v * wk
+	}
+}

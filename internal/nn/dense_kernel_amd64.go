@@ -1,0 +1,37 @@
+//go:build amd64
+
+package nn
+
+// hasAVX gates the vector kernels at runtime: AVX requires both the CPU
+// feature flag and OS support for saving YMM state (OSXSAVE + XGETBV).
+var hasAVX = cpuHasAVX()
+
+// cpuHasAVX is implemented in dense_kernel_amd64.s via CPUID/XGETBV.
+func cpuHasAVX() bool
+
+// axpy4avx and axpy1avx are the AVX forms of axpy4Go/axpy1Go. They use
+// VMULPD/VADDPD (and their scalar VEX forms for the length tail), which
+// round each lane exactly like the scalar Go code — no FMA — so results
+// are bit-identical to the portable kernels.
+//
+//go:noescape
+func axpy4avx(v *[4]float64, w, o0, o1, o2, o3 *float64, n int)
+
+//go:noescape
+func axpy1avx(v float64, w, o *float64, n int)
+
+func axpy4(v *[4]float64, w, o0, o1, o2, o3 []float64) {
+	if hasAVX && len(w) > 0 {
+		axpy4avx(v, &w[0], &o0[0], &o1[0], &o2[0], &o3[0], len(w))
+		return
+	}
+	axpy4Go(v, w, o0, o1, o2, o3)
+}
+
+func axpy1(v float64, w, o []float64) {
+	if hasAVX && len(w) > 0 {
+		axpy1avx(v, &w[0], &o[0], len(w))
+		return
+	}
+	axpy1Go(v, w, o)
+}

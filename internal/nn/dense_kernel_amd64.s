@@ -1,0 +1,156 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX kernels for the Dense inference hot loop. Bit-identity contract:
+// only VMULPD/VADDPD and their VEX scalar forms are used — each lane is a
+// single IEEE-rounded multiply followed by a single IEEE-rounded add,
+// exactly what the portable Go kernels compute. VFMADD* must never be
+// used here: fusing the multiply-add skips the intermediate rounding and
+// would break the Infer == ForwardT golden tests.
+
+// func cpuHasAVX() bool
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	// AVX needs the CPU flags (ECX bit 28) and OSXSAVE (ECX bit 27).
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  noavx
+	// XGETBV: the OS must save both XMM (bit 1) and YMM (bit 2) state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpy4avx(v *[4]float64, w, o0, o1, o2, o3 *float64, n int)
+//
+// o_r[k] += v[r] * w[k] for r in 0..3, k in 0..n-1. One pass over the
+// weight row feeds four output rows, so the weight memory traffic of the
+// 4-row block is a quarter of four single-row passes.
+TEXT ·axpy4avx(SB), NOSPLIT, $0-56
+	MOVQ v+0(FP), AX
+	MOVQ w+8(FP), SI
+	MOVQ o0+16(FP), R8
+	MOVQ o1+24(FP), R9
+	MOVQ o2+32(FP), R10
+	MOVQ o3+40(FP), R11
+	MOVQ n+48(FP), CX
+
+	VBROADCASTSD (AX), Y0
+	VBROADCASTSD 8(AX), Y1
+	VBROADCASTSD 16(AX), Y2
+	VBROADCASTSD 24(AX), Y3
+
+	// Pointer-increment addressing throughout: indexed stores cannot use
+	// the dedicated store-address port on Intel cores and measurably slow
+	// this loop down.
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   tail4
+
+loop4:
+	VMOVUPD (SI), Y4
+	VMULPD  Y4, Y0, Y5
+	VADDPD  (R8), Y5, Y5
+	VMOVUPD Y5, (R8)
+	VMULPD  Y4, Y1, Y6
+	VADDPD  (R9), Y6, Y6
+	VMOVUPD Y6, (R9)
+	VMULPD  Y4, Y2, Y7
+	VADDPD  (R10), Y7, Y7
+	VMOVUPD Y7, (R10)
+	VMULPD  Y4, Y3, Y8
+	VADDPD  (R11), Y8, Y8
+	VMOVUPD Y8, (R11)
+	ADDQ    $32, SI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	ADDQ    $32, R11
+	DECQ    DX
+	JNZ     loop4
+
+tail4:
+	ANDQ $3, CX
+	JZ   done4
+
+tailloop4:
+	VMOVSD (SI), X4
+	VMULSD X4, X0, X5
+	VADDSD (R8), X5, X5
+	VMOVSD X5, (R8)
+	VMULSD X4, X1, X6
+	VADDSD (R9), X6, X6
+	VMOVSD X6, (R9)
+	VMULSD X4, X2, X7
+	VADDSD (R10), X7, X7
+	VMOVSD X7, (R10)
+	VMULSD X4, X3, X8
+	VADDSD (R11), X8, X8
+	VMOVSD X8, (R11)
+	ADDQ   $8, SI
+	ADDQ   $8, R8
+	ADDQ   $8, R9
+	ADDQ   $8, R10
+	ADDQ   $8, R11
+	DECQ   CX
+	JNZ    tailloop4
+
+done4:
+	VZEROUPPER
+	RET
+
+// func axpy1avx(v float64, w, o *float64, n int)
+//
+// o[k] += v * w[k] for k in 0..n-1.
+TEXT ·axpy1avx(SB), NOSPLIT, $0-32
+	MOVQ w+8(FP), SI
+	MOVQ o+16(FP), R8
+	MOVQ n+24(FP), CX
+
+	VBROADCASTSD v+0(FP), Y0
+
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   tail1
+
+loop1:
+	VMOVUPD (SI), Y4
+	VMULPD  Y4, Y0, Y5
+	VADDPD  (R8), Y5, Y5
+	VMOVUPD Y5, (R8)
+	VMOVUPD 32(SI), Y6
+	VMULPD  Y6, Y0, Y7
+	VADDPD  32(R8), Y7, Y7
+	VMOVUPD Y7, 32(R8)
+	ADDQ    $64, SI
+	ADDQ    $64, R8
+	DECQ    DX
+	JNZ     loop1
+
+tail1:
+	ANDQ $7, CX
+	JZ   done1
+
+tailloop1:
+	VMOVSD (SI), X4
+	VMULSD X4, X0, X5
+	VADDSD (R8), X5, X5
+	VMOVSD X5, (R8)
+	ADDQ   $8, SI
+	ADDQ   $8, R8
+	DECQ   CX
+	JNZ    tailloop1
+
+done1:
+	VZEROUPPER
+	RET

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAxpyKernelsMatchPortable pins the dispatched axpy kernels (AVX when
+// the host supports it) against the portable Go implementations bit for
+// bit, across vector-width tails and negative/zero/subnormal-ish values.
+func TestAxpyKernelsMatchPortable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fill := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			switch rng.Intn(8) {
+			case 0:
+				s[i] = 0
+			case 1:
+				s[i] = 1e-300 * rng.NormFloat64()
+			default:
+				s[i] = rng.NormFloat64()
+			}
+		}
+		return s
+	}
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 50, 256, 678} {
+		w := fill(n)
+		base := [][]float64{fill(n), fill(n), fill(n), fill(n)}
+		v := [4]float64{rng.NormFloat64(), 0, rng.NormFloat64(), -rng.NormFloat64()}
+
+		got := make([][]float64, 4)
+		want := make([][]float64, 4)
+		for r := range base {
+			got[r] = append([]float64(nil), base[r]...)
+			want[r] = append([]float64(nil), base[r]...)
+		}
+		axpy4(&v, w, got[0], got[1], got[2], got[3])
+		axpy4Go(&v, w, want[0], want[1], want[2], want[3])
+		for r := range got {
+			for k := range got[r] {
+				if got[r][k] != want[r][k] {
+					t.Fatalf("axpy4 n=%d row=%d col=%d: %v != %v", n, r, k, got[r][k], want[r][k])
+				}
+			}
+		}
+
+		g1 := append([]float64(nil), base[0]...)
+		w1 := append([]float64(nil), base[0]...)
+		axpy1(v[0], w, g1)
+		axpy1Go(v[0], w, w1)
+		for k := range g1 {
+			if g1[k] != w1[k] {
+				t.Fatalf("axpy1 n=%d col=%d: %v != %v", n, k, g1[k], w1[k])
+			}
+		}
+	}
+}

@@ -35,23 +35,30 @@ func SoftmaxCE(logits [][]float64, y []int) (float64, [][]float64, error) {
 
 // Softmax returns the softmax of one logit row (numerically stabilized).
 func Softmax(row []float64) []float64 {
+	out := make([]float64, len(row))
+	SoftmaxInto(out, row)
+	return out
+}
+
+// SoftmaxInto writes the softmax of row into dst (len(dst) must equal
+// len(row); dst may alias row). Same arithmetic as Softmax, allocation
+// free for serving hot paths.
+func SoftmaxInto(dst, row []float64) {
 	maxV := row[0]
 	for _, v := range row[1:] {
 		if v > maxV {
 			maxV = v
 		}
 	}
-	out := make([]float64, len(row))
 	var sum float64
 	for j, v := range row {
 		e := math.Exp(v - maxV)
-		out[j] = e
+		dst[j] = e
 		sum += e
 	}
-	for j := range out {
-		out[j] /= sum
+	for j := range dst {
+		dst[j] /= sum
 	}
-	return out
 }
 
 // BCEWithLogits computes the mean binary cross-entropy between single-logit

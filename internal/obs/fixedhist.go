@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default fixed boundaries for request/batch
+// latency histograms: 100µs to 10s in a roughly logarithmic ladder, wide
+// enough for both an in-process adaptation call and a loaded HTTP
+// round-trip.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// BatchSizeBuckets are the default fixed boundaries for micro-batch size
+// distributions (powers of two up to a generous coalescing ceiling).
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// FixedHistogram is a fixed-boundary histogram: observations are counted
+// into buckets with explicit ascending upper bounds (plus an implicit
+// +Inf overflow bucket), the native Prometheus "histogram" shape. Unlike
+// the streaming Histogram it is lock-free — Observe is two atomic adds
+// and a CAS loop for the sum — which suits high-rate serving paths where
+// many goroutines record latencies concurrently. Quantiles (p50/p90/p99
+// via Snapshot) are estimated by linear interpolation inside the target
+// bucket, exactly as Prometheus' histogram_quantile does.
+type FixedHistogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewFixedHistogram creates a histogram with the given ascending upper
+// bounds. The bounds are copied, sorted, and deduplicated; an empty list
+// falls back to LatencyBuckets.
+func NewFixedHistogram(bounds []float64) *FixedHistogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			continue
+		}
+		if i > 0 && len(dedup) > 0 && dedup[len(dedup)-1] == b {
+			continue
+		}
+		dedup = append(dedup, b)
+	}
+	return &FixedHistogram{
+		bounds:  dedup,
+		buckets: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe counts one sample. NaN samples are dropped. Safe for concurrent
+// use; nil-safe like every obs handle.
+func (h *FixedHistogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *FixedHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *FixedHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds (shared slice; do not mutate).
+func (h *FixedHistogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns a snapshot of the per-bucket (non-cumulative)
+// counts; the final element is the +Inf overflow bucket.
+func (h *FixedHistogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket containing the target rank, Prometheus-style: the
+// first bucket interpolates from zero, and ranks landing in the +Inf
+// bucket report the largest finite bound.
+func (h *FixedHistogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.BucketCounts()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate to.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(target-cum)/float64(c)
+		}
+		cum = next
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// quantilesFixed returns estimates for several q values.
+func (h *FixedHistogram) quantilesFixed(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFixedHistogramBuckets(t *testing.T) {
+	h := NewFixedHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6 (NaN dropped)", got)
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+3+10; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	// Bucket semantics are le (inclusive upper bound), Prometheus-style.
+	want := []uint64{2, 2, 1, 1} // le=1: {0.5, 1}; le=2: {1.5, 2}; le=5: {3}; +Inf: {10}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count slice length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFixedHistogramQuantile(t *testing.T) {
+	h := NewFixedHistogram([]float64{0.01, 0.1, 1})
+	// 100 samples uniformly in the (0.01, 0.1] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	// The interpolated median of a single fully-populated bucket sits at
+	// its midpoint.
+	if got := h.Quantile(0.5); math.Abs(got-0.055) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.055 (bucket midpoint)", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("p100 = %v, want bucket upper bound 0.1", got)
+	}
+	// Overflow ranks clamp to the largest finite bound.
+	h.Observe(50)
+	if got := h.Quantile(0.999); got != 1 {
+		t.Errorf("overflow quantile = %v, want largest finite bound 1", got)
+	}
+	var empty *FixedHistogram
+	if empty.Quantile(0.5) != 0 || NewFixedHistogram(nil).Quantile(0.5) != 0 {
+		t.Error("nil/empty histograms should report 0")
+	}
+}
+
+func TestFixedHistogramConcurrent(t *testing.T) {
+	h := NewFixedHistogram([]float64{1, 10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); got != 4000 {
+		t.Errorf("sum = %v, want 4000", got)
+	}
+}
+
+func TestFixedHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.FixedHistogram("req_seconds", []float64{0.1, 1}, "stage", "adapt")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	// Same (name, labels) returns the same instance; bounds of later calls
+	// are ignored.
+	if again := r.FixedHistogram("req_seconds", []float64{9}, "stage", "adapt"); again != h {
+		t.Fatal("second FixedHistogram call returned a different instance")
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{stage="adapt",le="0.1"} 1`,
+		`req_seconds_bucket{stage="adapt",le="1"} 2`,
+		`req_seconds_bucket{stage="adapt",le="+Inf"} 3`,
+		`req_seconds_sum{stage="adapt"} 3.55`,
+		`req_seconds_count{stage="adapt"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Snapshot carries count, sum, and the standard quantile points.
+	var sawCount, sawP99 bool
+	for _, s := range r.Snapshot() {
+		switch {
+		case s.Name == "req_seconds_count" && s.Value == 3:
+			sawCount = true
+		case s.Name == "req_seconds" && s.Labels["quantile"] == "0.99":
+			sawP99 = true
+		}
+	}
+	if !sawCount || !sawP99 {
+		t.Errorf("snapshot missing fixed-histogram samples (count=%v p99=%v)", sawCount, sawP99)
+	}
+}

@@ -27,6 +27,16 @@ const (
 	MetricMonitorPSI    = "netdrift_monitor_psi"     // histogram across features
 	// internal/baselines
 	MetricMethodSeconds = "netdrift_method_predict_seconds" // histogram{method=...}
+	// internal/serve
+	MetricServeRequests     = "netdrift_serve_requests_total"     // counter{outcome="ok"|"error"|"canceled"}
+	MetricServeRows         = "netdrift_serve_rows_total"         // counter
+	MetricServeBatches      = "netdrift_serve_batches_total"      // counter
+	MetricServeSwaps        = "netdrift_serve_swaps_total"        // counter
+	MetricServeReqLatency   = "netdrift_serve_request_seconds"    // fixed histogram
+	MetricServeBatchLatency = "netdrift_serve_batch_seconds"      // fixed histogram
+	MetricServeBatchSize    = "netdrift_serve_batch_size"         // fixed histogram
+	MetricServeQueueDepth   = "netdrift_serve_queue_depth"        // gauge
+	MetricServeBundleLoads  = "netdrift_serve_bundle_loads_total" // counter
 )
 
 // TrainEpoch reports one completed reconstructor training epoch.
@@ -113,6 +123,14 @@ func (o *Observer) Histogram(name string, labels ...string) *Histogram {
 		return nil
 	}
 	return o.Registry.Histogram(name, labels...)
+}
+
+// FixedHistogram is a nil-safe Registry.FixedHistogram.
+func (o *Observer) FixedHistogram(name string, bounds []float64, labels ...string) *FixedHistogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.FixedHistogram(name, bounds, labels...)
 }
 
 // StartSpan opens a root span; returns nil (all methods no-ops) when

@@ -92,6 +92,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindFixedHistogram
 )
 
 func (k metricKind) String() string {
@@ -100,6 +101,10 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
+	case kindFixedHistogram:
+		// Fixed-boundary histograms expose cumulative le buckets, the
+		// native Prometheus "histogram" type.
+		return "histogram"
 	default:
 		// Streaming histograms expose quantiles, so they render as the
 		// Prometheus "summary" type.
@@ -190,6 +195,18 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return r.metric(name, kindHistogram, labels, func() any { return newHistogram(defaultHistogramBins) }).(*Histogram)
 }
 
+// FixedHistogram returns the fixed-boundary histogram for name and label
+// pairs, creating it with the given bucket bounds on first use. Later
+// calls for the same (name, labels) return the existing instance — the
+// first caller's bounds win; pass nil bounds to accept whatever is
+// already registered (or LatencyBuckets on first use).
+func (r *Registry) FixedHistogram(name string, bounds []float64, labels ...string) *FixedHistogram {
+	if r == nil {
+		return nil
+	}
+	return r.metric(name, kindFixedHistogram, labels, func() any { return NewFixedHistogram(bounds) }).(*FixedHistogram)
+}
+
 // Sample is one exported metric point (histograms expand into several).
 type Sample struct {
 	Name   string            `json:"name"`
@@ -252,6 +269,18 @@ func (r *Registry) Snapshot() []Sample {
 				ql["quantile"] = formatFloat(q)
 				out = append(out, Sample{Name: e.name, Labels: ql, Value: qs[i]})
 			}
+		case *FixedHistogram:
+			out = append(out, Sample{Name: e.name + "_count", Labels: lab, Value: float64(m.Count())})
+			out = append(out, Sample{Name: e.name + "_sum", Labels: lab, Value: m.Sum()})
+			qs := m.quantilesFixed(exportQuantiles...)
+			for i, q := range exportQuantiles {
+				ql := labelMap(e.labels)
+				if ql == nil {
+					ql = map[string]string{}
+				}
+				ql["quantile"] = formatFloat(q)
+				out = append(out, Sample{Name: e.name, Labels: ql, Value: qs[i]})
+			}
 		}
 	}
 	return out
@@ -306,6 +335,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				ql := append(append([]string(nil), e.labels...), "quantile", formatFloat(q))
 				fmt.Fprintf(&b, "%s%s %s\n", e.name, renderLabels(ql), formatFloat(qs[i]))
 			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, renderLabels(e.labels), formatFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, renderLabels(e.labels), m.Count())
+		case *FixedHistogram:
+			counts := m.BucketCounts()
+			var cum uint64
+			for i, bound := range m.Bounds() {
+				cum += counts[i]
+				bl := append(append([]string(nil), e.labels...), "le", formatFloat(bound))
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, renderLabels(bl), cum)
+			}
+			cum += counts[len(counts)-1]
+			bl := append(append([]string(nil), e.labels...), "le", "+Inf")
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", e.name, renderLabels(bl), cum)
 			fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, renderLabels(e.labels), formatFloat(m.Sum()))
 			fmt.Fprintf(&b, "%s_count%s %d\n", e.name, renderLabels(e.labels), m.Count())
 		}

@@ -1,0 +1,345 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netdrift/internal/core"
+	"netdrift/internal/models"
+	"netdrift/internal/nn"
+	"netdrift/internal/obs"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("serve: coalescer closed")
+
+// Options tune the coalescer. Zero values select the defaults.
+type Options struct {
+	// MaxBatch is the flush threshold in rows: the dispatcher flushes as
+	// soon as pending requests reach this many rows. Default 32.
+	MaxBatch int
+	// MaxWait bounds the queueing delay of a lone request: a pending
+	// batch is flushed this long after its first row arrived even if it
+	// is not full. Default 2ms.
+	MaxWait time.Duration
+	// Workers is the number of batch executors, each owning its private
+	// adaptation scratch. Default 1.
+	Workers int
+	// Obs receives serving metrics. May be nil.
+	Obs *obs.Observer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Result is one request's outcome. Rows and Predictions are private copies
+// owned by the caller.
+type Result struct {
+	BundleID    string
+	Rows        [][]float64
+	Predictions [][]float64 // nil unless requested and the bundle has a classifier
+}
+
+// request is one submitted unit riding through the coalescer. done is
+// buffered so the executor never blocks handing back a result, even if the
+// submitter already gave up on its context.
+type request struct {
+	ctx     context.Context
+	rows    [][]float64
+	seeds   []int64
+	predict bool
+	done    chan reqOutcome
+}
+
+type reqOutcome struct {
+	res Result
+	err error
+}
+
+// Coalescer fans concurrent Adapt requests into micro-batches: requests
+// accumulate until MaxBatch rows are pending or the oldest has waited
+// MaxWait, then the whole group runs as few generator forwards as possible
+// on one worker. Per-row noise seeds are derived from each request's seed
+// before batching, so responses are bit-identical to unbatched serving
+// (see core.AdaptBatch).
+type Coalescer struct {
+	opts Options
+	reg  *Registry
+
+	reqCh  chan *request
+	workCh chan []*request
+
+	mu         sync.Mutex
+	closed     bool
+	submitters sync.WaitGroup // in-flight Submit calls, counted under mu
+	dispatcher sync.WaitGroup
+	workers    sync.WaitGroup
+
+	queueDepth *obs.Gauge
+}
+
+// NewCoalescer starts the dispatcher and worker pool serving from reg.
+func NewCoalescer(reg *Registry, opts Options) *Coalescer {
+	opts = opts.withDefaults()
+	c := &Coalescer{
+		opts:       opts,
+		reg:        reg,
+		reqCh:      make(chan *request, opts.MaxBatch),
+		workCh:     make(chan []*request, opts.Workers),
+		queueDepth: opts.Obs.Gauge(obs.MetricServeQueueDepth),
+	}
+	c.dispatcher.Add(1)
+	go c.dispatch()
+	c.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go c.work()
+	}
+	return c
+}
+
+// Submit queues rows for adaptation and blocks until the batch containing
+// them completes, ctx is done, or the coalescer closes. Row i's noise is
+// seeded with core.SampleSeed(seed, i) regardless of how the request is
+// batched or split.
+func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, predict bool) (Result, error) {
+	if len(rows) == 0 {
+		return Result{}, fmt.Errorf("serve: empty request")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	// The submitters group covers only the enqueue: Close may not close
+	// reqCh until every accepted Submit has finished sending, but it must
+	// not wait on result delivery (results need Close's own drain flush).
+	c.submitters.Add(1)
+	c.mu.Unlock()
+
+	seeds := make([]int64, len(rows))
+	for i := range seeds {
+		seeds[i] = core.SampleSeed(seed, i)
+	}
+	req := &request{
+		ctx:     ctx,
+		rows:    rows,
+		seeds:   seeds,
+		predict: predict,
+		done:    make(chan reqOutcome, 1),
+	}
+	enqueued := false
+	select {
+	case c.reqCh <- req:
+		enqueued = true
+		c.queueDepth.Add(1)
+	case <-ctx.Done():
+	}
+	c.submitters.Done()
+	if !enqueued {
+		return Result{}, ctx.Err()
+	}
+	// Once enqueued the request always gets an outcome (done is buffered,
+	// so the executor never blocks on an abandoned waiter), but a caller
+	// whose context dies while queued gets unblocked immediately.
+	select {
+	case out := <-req.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close flushes and serves every queued request, then stops the dispatcher
+// and workers. Submit calls that began before Close complete normally;
+// later ones fail with ErrClosed.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.submitters.Wait() // every accepted Submit has now sent on reqCh
+	close(c.reqCh)
+	c.dispatcher.Wait()
+	c.workers.Wait()
+}
+
+// dispatch is the single goroutine that groups requests into batches. A
+// batch flushes when its pending rows reach MaxBatch, when the oldest
+// request has waited MaxWait, or at shutdown.
+func (c *Coalescer) dispatch() {
+	defer c.dispatcher.Done()
+	var (
+		pending []*request
+		rows    int
+		timer   *time.Timer
+		timeout <-chan time.Time
+	)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		c.workCh <- pending
+		pending = nil
+		rows = 0
+		if timer != nil {
+			timer.Stop()
+		}
+		timeout = nil
+	}
+	for {
+		select {
+		case req, ok := <-c.reqCh:
+			if !ok {
+				flush()
+				close(c.workCh)
+				return
+			}
+			c.queueDepth.Add(-1)
+			// A request that would overflow the pending batch flushes it
+			// first; an oversized request then forms its own batch and is
+			// chunked by the executor.
+			if rows > 0 && rows+len(req.rows) > c.opts.MaxBatch {
+				flush()
+			}
+			pending = append(pending, req)
+			rows += len(req.rows)
+			if rows >= c.opts.MaxBatch {
+				flush()
+			} else if timeout == nil {
+				if timer == nil {
+					timer = time.NewTimer(c.opts.MaxWait)
+				} else {
+					timer.Reset(c.opts.MaxWait)
+				}
+				timeout = timer.C
+			}
+		case <-timeout:
+			flush()
+		}
+	}
+}
+
+// work executes flushed batches. Each worker owns its scratch; the bundle
+// pointer is snapshotted once per batch so every response in it comes
+// wholly from one artifact even across a concurrent hot-swap.
+func (c *Coalescer) work() {
+	defer c.workers.Done()
+	var adaptScr core.AdaptScratch
+	var mlpScr models.MLPScratch
+	o := c.opts.Obs
+	batchLatency := o.FixedHistogram(obs.MetricServeBatchLatency, obs.LatencyBuckets)
+	batchSize := o.FixedHistogram(obs.MetricServeBatchSize, obs.BatchSizeBuckets)
+	batches := o.Counter(obs.MetricServeBatches)
+	rowsTotal := o.Counter(obs.MetricServeRows)
+	for group := range c.workCh {
+		c.runGroup(group, &adaptScr, &mlpScr, batchLatency, batchSize, batches, rowsTotal)
+	}
+}
+
+func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpScr *models.MLPScratch,
+	batchLatency, batchSize *obs.FixedHistogram, batches, rowsTotal *obs.Counter) {
+	// Drop requests whose submitter already gave up; they still get an
+	// outcome so Submit never leaks a waiter.
+	live := group[:0]
+	for _, req := range group {
+		if err := req.ctx.Err(); err != nil {
+			req.done <- reqOutcome{err: err}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	bundle := c.reg.Current()
+	if bundle == nil {
+		for _, req := range live {
+			req.done <- reqOutcome{err: ErrNoBundle}
+		}
+		return
+	}
+	start := time.Now()
+	// Stitch the group into one flat row list, then run it in chunks of
+	// MaxBatch (a single oversized request spans several chunks).
+	var allRows [][]float64
+	var allSeeds []int64
+	for _, req := range live {
+		allRows = append(allRows, req.rows...)
+		allSeeds = append(allSeeds, req.seeds...)
+	}
+	wantPredict := bundle.Classifier != nil
+	if wantPredict {
+		wantPredict = false
+		for _, req := range live {
+			if req.predict {
+				wantPredict = true
+				break
+			}
+		}
+	}
+	outRows := make([][]float64, 0, len(allRows))
+	var outPreds [][]float64
+	for lo := 0; lo < len(allRows); lo += c.opts.MaxBatch {
+		hi := lo + c.opts.MaxBatch
+		if hi > len(allRows) {
+			hi = len(allRows)
+		}
+		adapted, err := bundle.Adapter.AdaptBatch(allRows[lo:hi], allSeeds[lo:hi], adaptScr)
+		if err != nil {
+			c.failGroup(live, err)
+			return
+		}
+		var preds *nn.Tensor
+		if wantPredict {
+			preds, err = bundle.Classifier.PredictProbaT(adapted, mlpScr)
+			if err != nil {
+				c.failGroup(live, err)
+				return
+			}
+		}
+		// The scratch tensors are reused next chunk: copy results out.
+		for i := 0; i < adapted.Rows(); i++ {
+			outRows = append(outRows, append([]float64(nil), adapted.Row(i)...))
+			if preds != nil {
+				outPreds = append(outPreds, append([]float64(nil), preds.Row(i)...))
+			}
+		}
+		batchSize.Observe(float64(hi - lo))
+		batches.Inc()
+	}
+	batchLatency.Observe(time.Since(start).Seconds())
+	rowsTotal.Add(float64(len(allRows)))
+	// Scatter the flat results back to their requests.
+	off := 0
+	for _, req := range live {
+		n := len(req.rows)
+		res := Result{BundleID: bundle.ID, Rows: outRows[off : off+n : off+n]}
+		if req.predict && outPreds != nil {
+			res.Predictions = outPreds[off : off+n : off+n]
+		}
+		req.done <- reqOutcome{res: res}
+		off += n
+	}
+}
+
+func (c *Coalescer) failGroup(live []*request, err error) {
+	for _, req := range live {
+		req.done <- reqOutcome{err: err}
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"netdrift/internal/obs"
+)
+
+// AdaptRequest is the POST /v1/adapt payload.
+type AdaptRequest struct {
+	// Rows are raw (unscaled) target-domain feature rows.
+	Rows [][]float64 `json:"rows"`
+	// Seed scopes the generator noise for this request. Zero (the
+	// default) pins the paper's M=1 inference draw; any other value gives
+	// a reproducible per-row Gaussian draw via core.SampleSeed.
+	Seed int64 `json:"seed,omitempty"`
+	// Predict asks for downstream class probabilities when the bundle
+	// ships a classifier.
+	Predict bool `json:"predict,omitempty"`
+}
+
+// AdaptResponse is the POST /v1/adapt reply.
+type AdaptResponse struct {
+	BundleID    string      `json:"bundle_id"`
+	Rows        [][]float64 `json:"rows"`
+	Predictions [][]float64 `json:"predictions,omitempty"`
+}
+
+// Server wires the coalescer, registry, and observer into an http.Handler.
+type Server struct {
+	reg *Registry
+	co  *Coalescer
+	o   *obs.Observer
+	mux *http.ServeMux
+}
+
+// NewServer builds the serving handler tree. o may be nil (metrics off,
+// /metrics then reports an empty registry).
+func NewServer(reg *Registry, co *Coalescer, o *obs.Observer) *Server {
+	s := &Server{reg: reg, co: co, o: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqLatency := s.o.FixedHistogram(obs.MetricServeReqLatency, obs.LatencyBuckets)
+	outcome := func(kind string) {
+		s.o.Counter(obs.MetricServeRequests, "outcome", kind).Inc()
+		reqLatency.Observe(time.Since(start).Seconds())
+	}
+	var req AdaptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		outcome("error")
+		httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	if len(req.Rows) == 0 {
+		outcome("error")
+		httpError(w, http.StatusBadRequest, "rows must not be empty")
+		return
+	}
+	res, err := s.co.Submit(r.Context(), req.Rows, req.Seed, req.Predict)
+	switch {
+	case err == nil:
+	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		outcome("canceled")
+		httpError(w, http.StatusRequestTimeout, err.Error())
+		return
+	case errors.Is(err, ErrNoBundle):
+		outcome("error")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		outcome("error")
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		outcome("error")
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	outcome("ok")
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(AdaptResponse{
+		BundleID:    res.BundleID,
+		Rows:        res.Rows,
+		Predictions: res.Predictions,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type health struct {
+		Status string `json:"status"`
+		Bundle string `json:"bundle,omitempty"`
+	}
+	h := health{Status: "ok"}
+	w.Header().Set("Content-Type", "application/json")
+	if b := s.reg.Current(); b != nil {
+		h.Bundle = b.ID
+	} else {
+		h.Status = "no-bundle"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.o != nil && s.o.Registry != nil {
+		s.o.Registry.WritePrometheus(w)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"netdrift/internal/obs"
+)
+
+// ErrNoBundle is returned when serving is attempted before any bundle has
+// been installed.
+var ErrNoBundle = errors.New("serve: no bundle installed")
+
+// Registry holds the live serving bundle behind an atomic pointer. Readers
+// (batch executors) take one snapshot of the pointer per micro-batch and
+// run the whole batch against it, so a concurrent Swap can never produce a
+// response stitched from two bundles. Swap is wait-free for readers: no
+// lock is ever taken on the request path.
+type Registry struct {
+	current atomic.Pointer[Bundle]
+	obs     *obs.Observer
+
+	// Singleflight state for LoadFile: concurrent loads of the same path
+	// share one disk read + deserialization instead of thundering.
+	mu     sync.Mutex
+	flight map[string]*loadCall
+}
+
+type loadCall struct {
+	done   chan struct{}
+	bundle *Bundle
+	err    error
+}
+
+// NewRegistry returns an empty registry. obs may be nil.
+func NewRegistry(o *obs.Observer) *Registry {
+	return &Registry{obs: o, flight: make(map[string]*loadCall)}
+}
+
+// Current returns the live bundle, or nil before the first Swap.
+func (r *Registry) Current() *Bundle { return r.current.Load() }
+
+// Swap atomically installs b as the live bundle and returns the previous
+// one (nil on first install). In-flight micro-batches that already
+// snapshotted the old bundle finish against it.
+func (r *Registry) Swap(b *Bundle) *Bundle {
+	old := r.current.Swap(b)
+	r.obs.Counter(obs.MetricServeSwaps).Inc()
+	return old
+}
+
+// LoadFile reads a bundle from disk and installs it. Concurrent calls for
+// the same path coalesce into one load (singleflight); every caller gets
+// the same bundle or the same error. The bundle is swapped in only by the
+// call that performed the read.
+func (r *Registry) LoadFile(path string) (*Bundle, error) {
+	r.mu.Lock()
+	if c, ok := r.flight[path]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.bundle, c.err
+	}
+	c := &loadCall{done: make(chan struct{})}
+	r.flight[path] = c
+	r.mu.Unlock()
+
+	c.bundle, c.err = LoadBundleFile(path)
+	r.obs.Counter(obs.MetricServeBundleLoads).Inc()
+	if c.err == nil {
+		r.Swap(c.bundle)
+	}
+
+	r.mu.Lock()
+	delete(r.flight, path)
+	r.mu.Unlock()
+	close(c.done)
+	return c.bundle, c.err
+}

@@ -115,6 +115,36 @@ func (s *MinMaxScaler) Transform(x [][]float64) ([][]float64, error) {
 	return out, nil
 }
 
+// TransformRowInto scales one row into dst with the same arithmetic as
+// Transform (clamping included), without allocating — the serving hot
+// path. dst must have the fitted width; dst may alias row.
+func (s *MinMaxScaler) TransformRowInto(dst, row []float64) error {
+	if !s.fitted {
+		return ErrNotFitted
+	}
+	if len(row) != len(s.mins) || len(dst) != len(s.mins) {
+		return fmt.Errorf("stats: row has %d columns, dst %d, want %d", len(row), len(dst), len(s.mins))
+	}
+	span := s.Hi - s.Lo
+	mid := (s.Hi + s.Lo) / 2
+	for j, v := range row {
+		r := s.maxs[j] - s.mins[j]
+		if r == 0 {
+			dst[j] = mid
+			continue
+		}
+		t := s.Lo + span*(v-s.mins[j])/r
+		if t < s.Lo {
+			t = s.Lo
+		}
+		if t > s.Hi {
+			t = s.Hi
+		}
+		dst[j] = t
+	}
+	return nil
+}
+
 // Inverse maps scaled values back to the original feature space. Constant
 // columns map back to their fitted value.
 func (s *MinMaxScaler) Inverse(x [][]float64) ([][]float64, error) {

@@ -29,6 +29,7 @@ package netdrift
 
 import (
 	"io"
+	"net/http"
 
 	"netdrift/internal/causal"
 	"netdrift/internal/core"
@@ -37,6 +38,7 @@ import (
 	"netdrift/internal/models"
 	"netdrift/internal/monitor"
 	"netdrift/internal/obs"
+	"netdrift/internal/serve"
 )
 
 // Core pipeline types (see internal/core).
@@ -73,6 +75,14 @@ const (
 type (
 	// Dataset is the tabular telemetry container used across the library.
 	Dataset = dataset.Dataset
+	// FiveGCConfig parameterizes the synthetic 5GC drift generator.
+	FiveGCConfig = dataset.FiveGCConfig
+	// FiveGIPCConfig parameterizes the synthetic 5GIPC drift generator.
+	FiveGIPCConfig = dataset.FiveGIPCConfig
+	// DriftedPair is a source domain plus one drifted target domain.
+	DriftedPair = dataset.Drifted
+	// DriftedMulti is a source domain plus several drifted target domains.
+	DriftedMulti = dataset.DriftedMulti
 	// Classifier is the model-agnostic classifier interface (TNet, MLP,
 	// random forest, gradient-boosted trees).
 	Classifier = models.Classifier
@@ -169,3 +179,36 @@ func NewObserver() *Observer { return obs.New() }
 
 // NewMetrics creates an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Serving types (see internal/serve): micro-batch request coalescing and
+// lock-free artifact hot-swap for deploying a fitted adapter (plus an
+// optional classifier) behind an HTTP endpoint. cmd/driftserve is the
+// ready-made binary; these re-exports let a custom server embed the same
+// machinery.
+type (
+	// Bundle pairs a fitted Adapter with an optional MLP classifier under
+	// one artifact id.
+	Bundle = serve.Bundle
+	// BundleRegistry hot-swaps the active Bundle behind an atomic pointer.
+	BundleRegistry = serve.Registry
+	// Coalescer batches concurrent adaptation requests into micro-batched
+	// forward passes.
+	Coalescer = serve.Coalescer
+	// CoalescerOptions tunes batching (MaxBatch, MaxWait, Workers).
+	CoalescerOptions = serve.Options
+)
+
+// NewBundleRegistry creates an empty hot-swap registry; obs may be nil.
+func NewBundleRegistry(o *Observer) *BundleRegistry { return serve.NewRegistry(o) }
+
+// NewCoalescer starts a request coalescer serving from reg's current
+// bundle. Close it to drain queued requests.
+func NewCoalescer(reg *BundleRegistry, opts CoalescerOptions) *Coalescer {
+	return serve.NewCoalescer(reg, opts)
+}
+
+// NewAdaptServer wires the registry and coalescer into the driftserve
+// HTTP API (POST /v1/adapt, GET /healthz, GET /metrics); o may be nil.
+func NewAdaptServer(reg *BundleRegistry, co *Coalescer, o *Observer) http.Handler {
+	return serve.NewServer(reg, co, o)
+}

@@ -1,7 +1,11 @@
 package netdrift_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"netdrift"
@@ -102,6 +106,69 @@ func TestPublicAPIFeatureSeparatorAlone(t *testing.T) {
 	for _, kind := range []netdrift.ClassifierKind{netdrift.TNet, netdrift.MLP, netdrift.RF, netdrift.XGB} {
 		if _, err := netdrift.NewClassifier(kind, netdrift.ClassifierOptions{}); err != nil {
 			t.Errorf("NewClassifier(%v): %v", kind, err)
+		}
+	}
+}
+
+// TestPublicAPIServing exercises the re-exported serving surface: build a
+// bundle from a fitted adapter, hot-swap it into a registry, and serve a
+// coalesced adaptation request over HTTP.
+func TestPublicAPIServing(t *testing.T) {
+	d, err := netdrift.Synthetic5GC(dataset.FiveGCConfig{
+		Seed: 41, SourceSamples: 320, TargetTrainPool: 96, TargetTestSamples: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	support, _, err := d.TargetTrain.FewShot(8, false, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter := netdrift.NewAdapter(netdrift.AdapterConfig{
+		Mode:  netdrift.ModeFSRecon,
+		Recon: netdrift.ReconGAN,
+		GAN:   netdrift.GANConfig{Epochs: 6},
+		Seed:  43,
+	})
+	if err := adapter.Fit(d.Source, support); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := netdrift.NewBundleRegistry(nil)
+	reg.Swap(&netdrift.Bundle{ID: "public-api", Adapter: adapter})
+	co := netdrift.NewCoalescer(reg, netdrift.CoalescerOptions{MaxBatch: 8})
+	defer co.Close()
+	srv := httptest.NewServer(netdrift.NewAdaptServer(reg, co, nil))
+	defer srv.Close()
+
+	body, _ := json.Marshal(map[string]any{"rows": d.TargetTest.X[:3]})
+	res, err := http.Post(srv.URL+"/v1/adapt", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var got struct {
+		BundleID string      `json:"bundle_id"`
+		Rows     [][]float64 `json:"rows"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.BundleID != "public-api" || len(got.Rows) != 3 {
+		t.Fatalf("unexpected response: bundle %q, %d rows", got.BundleID, len(got.Rows))
+	}
+	want, err := adapter.TransformTarget(d.TargetTest.X[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got.Rows[i][j] != want[i][j] {
+				t.Fatalf("served row %d differs from TransformTarget at col %d", i, j)
+			}
 		}
 	}
 }
