@@ -31,8 +31,10 @@ import (
 //     bit-identical, optionally appended as a "serve" stage to the
 //     BENCH_parallel.json report.
 func runLoadgen(out io.Writer, cfg config) error {
-	o := obs.New()
-	reg := serve.NewRegistry(o)
+	_, reg, co, handler, _, err := buildStack(cfg)
+	if err != nil {
+		return err
+	}
 	bundle, err := reg.LoadFile(cfg.Bundle)
 	if err != nil {
 		return err
@@ -47,19 +49,16 @@ func runLoadgen(out io.Writer, cfg config) error {
 	}
 
 	// --- Part 1: closed-loop HTTP load. ---
-	co := serve.NewCoalescer(reg, serve.Options{
-		MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, Workers: cfg.Workers, Obs: o,
-	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.NewServer(reg, co, o)}
+	srv := &http.Server{Handler: handler}
 	go func() { _ = srv.Serve(ln) }()
 	url := "http://" + ln.Addr().String() + "/v1/adapt"
 
 	latency := obs.NewFixedHistogram(obs.LatencyBuckets)
-	var requests, servedRows, failures atomic.Int64
+	var requests, servedRows, degraded, shed, timeouts, failures atomic.Int64
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Conns; c++ {
@@ -83,15 +82,24 @@ func runLoadgen(out io.Writer, cfg config) error {
 					failures.Add(1)
 					continue
 				}
+				var ar serve.AdaptResponse
+				decErr := json.NewDecoder(res.Body).Decode(&ar)
 				io.Copy(io.Discard, res.Body)
 				res.Body.Close()
 				latency.Observe(time.Since(start).Seconds())
-				if res.StatusCode != http.StatusOK {
+				switch {
+				case res.StatusCode == http.StatusOK && decErr == nil && ar.Degraded:
+					degraded.Add(1)
+				case res.StatusCode == http.StatusOK:
+					requests.Add(1)
+					servedRows.Add(int64(len(batch)))
+				case res.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				case res.StatusCode == http.StatusRequestTimeout:
+					timeouts.Add(1)
+				default:
 					failures.Add(1)
-					continue
 				}
-				requests.Add(1)
-				servedRows.Add(int64(len(batch)))
 			}
 		}(c)
 	}
@@ -102,14 +110,25 @@ func runLoadgen(out io.Writer, cfg config) error {
 	secs := cfg.Duration.Seconds()
 	reqRate := float64(requests.Load()) / secs
 	rowRate := float64(servedRows.Load()) / secs
-	fmt.Fprintf(out, "loadgen: bundle %q, %d conns, %s, %d rows/req (max-batch %d, workers %d)\n",
-		bundle.ID, cfg.Conns, cfg.Duration, cfg.RowsPerReq, cfg.MaxBatch, cfg.Workers)
+	total := requests.Load() + degraded.Load() + shed.Load() + timeouts.Load() + failures.Load()
+	fmt.Fprintf(out, "loadgen: bundle %q, %d conns, %s, %d rows/req (max-batch %d, workers %d, max-queue %d)\n",
+		bundle.ID, cfg.Conns, cfg.Duration, cfg.RowsPerReq, cfg.MaxBatch, cfg.Workers, cfg.MaxQueue)
 	fmt.Fprintf(out, "  %d requests ok, %d failed  |  %.0f req/s, %.0f rows/s\n",
 		requests.Load(), failures.Load(), reqRate, rowRate)
 	fmt.Fprintf(out, "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
 		latency.Quantile(0.5)*1e3, latency.Quantile(0.9)*1e3, latency.Quantile(0.99)*1e3)
+	// The verdict line gives operators the resilience picture at a glance:
+	// every request accounted for as ok / degraded / shed / timeout / error.
+	verdict := "clean"
+	if failures.Load() > 0 {
+		verdict = "errors"
+	} else if degraded.Load()+shed.Load()+timeouts.Load() > 0 {
+		verdict = "lossy"
+	}
+	fmt.Fprintf(out, "  verdict: %s  total=%d ok=%d degraded=%d shed=%d timeouts=%d errors=%d\n",
+		verdict, total, requests.Load(), degraded.Load(), shed.Load(), timeouts.Load(), failures.Load())
 	if requests.Load() == 0 {
-		return fmt.Errorf("loadgen completed zero requests")
+		return fmt.Errorf("loadgen completed zero golden-path requests")
 	}
 
 	// --- Part 2: the micro-batching stage for the bench report. ---

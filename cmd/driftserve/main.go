@@ -20,7 +20,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,10 +30,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"netdrift/internal/core"
 	"netdrift/internal/experiments"
+	"netdrift/internal/fault"
 	"netdrift/internal/models"
 	"netdrift/internal/obs"
 	"netdrift/internal/serve"
@@ -51,6 +56,15 @@ type config struct {
 	MaxWait  time.Duration
 	Workers  int
 
+	// Resilience knobs.
+	FaultPlan         string
+	MaxQueue          int
+	RequestTimeout    time.Duration
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	DrainTimeout      time.Duration
+
 	Dataset   string
 	ScaleName string
 	Scale     experiments.Scale
@@ -62,6 +76,41 @@ type config struct {
 	Duration   time.Duration
 	RowsPerReq int
 	BenchOut   string
+}
+
+// breakerConfig maps the CLI knobs onto a serve.BreakerConfig.
+func (c config) breakerConfig() serve.BreakerConfig {
+	return serve.BreakerConfig{
+		FailThreshold: c.BreakerThreshold,
+		BaseBackoff:   c.BreakerBackoff,
+		MaxBackoff:    c.BreakerMaxBackoff,
+		Seed:          c.Seed,
+	}
+}
+
+// faultInjector parses -faults into an armed injector, or nil when the
+// plan is empty (the production default: no chaos).
+func (c config) faultInjector() (*fault.Injector, error) {
+	if c.FaultPlan == "" {
+		return nil, nil
+	}
+	plan, err := fault.ParsePlan(c.FaultPlan)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	inj := fault.New(c.Seed)
+	inj.Load(plan)
+	return inj, nil
+}
+
+// serveOptions assembles the coalescer options shared by serve, loadgen,
+// and chaoscheck modes.
+func (c config) serveOptions(o *obs.Observer, inj *fault.Injector) serve.Options {
+	return serve.Options{
+		MaxBatch: c.MaxBatch, MaxWait: c.MaxWait, Workers: c.Workers,
+		MaxQueue: c.MaxQueue, RequestTimeout: c.RequestTimeout,
+		Breaker: c.breakerConfig(), Faults: inj, Obs: o,
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -83,10 +132,19 @@ func run(args []string, out io.Writer) error {
 		proberow = fs.Bool("proberow", false, "print one dataset test row as a JSON array (for hand-crafting /v1/adapt requests) and exit")
 
 		loadgen    = fs.Bool("loadgen", false, "run the closed-loop load generator against an in-process server instead of serving")
-		conns      = fs.Int("conns", 4, "concurrent closed-loop clients for -loadgen")
+		chaoscheck = fs.Bool("chaoscheck", false, "run the chaos acceptance check (fault storm + torn-response audit + recovery probe) and exit non-zero on any violation")
+		conns      = fs.Int("conns", 4, "concurrent closed-loop clients for -loadgen/-chaoscheck")
 		duration   = fs.Duration("duration", 5*time.Second, "load generation duration")
 		rowsPerReq = fs.Int("rows-per-req", 8, "rows per request for -loadgen")
 		benchOut   = fs.String("bench-out", "", "append the serve micro-batching stage to this BENCH_parallel.json (empty = skip)")
+
+		faults            = fs.String("faults", "", `deterministic fault plan, e.g. "batch.exec:err=0.2,panic=0.05,slow=1ms@0.3;http.adapt:err=0.1" (sites: bundle.load, batch.exec, http.adapt)`)
+		maxQueue          = fs.Int("max-queue", 4096, "admission queue bound in rows; excess load is shed with 429")
+		requestTimeout    = fs.Duration("request-timeout", 0, "per-request deadline applied by the server (0 = none)")
+		breakerThreshold  = fs.Int("breaker-threshold", 3, "consecutive failures that trip a circuit breaker open")
+		breakerBackoff    = fs.Duration("breaker-backoff", 100*time.Millisecond, "base breaker backoff (doubles per trip, jittered)")
+		breakerMaxBackoff = fs.Duration("breaker-max-backoff", 30*time.Second, "breaker backoff ceiling")
+		drainTimeout      = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain deadline on SIGTERM/SIGINT")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +155,9 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := config{
 		Bundle: *bundle, Addr: *addr, MaxBatch: *maxBatch, MaxWait: *maxWait, Workers: *workers,
+		FaultPlan: *faults, MaxQueue: *maxQueue, RequestTimeout: *requestTimeout,
+		BreakerThreshold: *breakerThreshold, BreakerBackoff: *breakerBackoff,
+		BreakerMaxBackoff: *breakerMaxBackoff, DrainTimeout: *drainTimeout,
 		Dataset: *ds, ScaleName: *scale, Scale: sc, Seed: *seed, Shots: *shots, ID: *id,
 		Conns: *conns, Duration: *duration, RowsPerReq: *rowsPerReq, BenchOut: *benchOut,
 	}
@@ -107,6 +168,8 @@ func run(args []string, out io.Writer) error {
 		return runProbeRow(out, cfg)
 	case *loadgen:
 		return runLoadgen(out, cfg)
+	case *chaoscheck:
+		return runChaosCheck(out, cfg)
 	default:
 		return runServe(out, cfg)
 	}
@@ -176,24 +239,66 @@ func runMkBundle(out io.Writer, cfg config) error {
 	return nil
 }
 
-// runServe loads the bundle and serves until the process is killed.
-func runServe(out io.Writer, cfg config) error {
+// buildStack assembles the full hardened serving stack from cfg: registry
+// with a load breaker (and chaos, when armed), coalescer with admission
+// control + executor breaker, HTTP handler tree.
+func buildStack(cfg config) (*obs.Observer, *serve.Registry, *serve.Coalescer, *serve.Server, *fault.Injector, error) {
 	o := obs.New()
+	inj, err := cfg.faultInjector()
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
 	reg := serve.NewRegistry(o)
+	reg.SetBreaker(serve.NewBreaker("bundle_load", cfg.breakerConfig(), o))
+	reg.SetFaults(inj)
+	co := serve.NewCoalescer(reg, cfg.serveOptions(o, inj))
+	return o, reg, co, serve.NewServer(reg, co, o), inj, nil
+}
+
+// runServe loads the bundle and serves until SIGTERM/SIGINT, then drains
+// in-flight requests for up to -drain-timeout before exiting.
+func runServe(out io.Writer, cfg config) error {
+	_, reg, co, handler, inj, err := buildStack(cfg)
+	if err != nil {
+		return err
+	}
+	defer co.Close()
 	b, err := reg.LoadFile(cfg.Bundle)
 	if err != nil {
 		return err
 	}
-	co := serve.NewCoalescer(reg, serve.Options{
-		MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, Workers: cfg.Workers, Obs: o,
-	})
-	defer co.Close()
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "serving bundle %q on http://%s (max-batch %d, max-wait %s, workers %d)\n",
-		b.ID, ln.Addr(), cfg.MaxBatch, cfg.MaxWait, cfg.Workers)
-	srv := &http.Server{Handler: serve.NewServer(reg, co, o)}
-	return srv.Serve(ln)
+	fmt.Fprintf(out, "serving bundle %q on http://%s (max-batch %d, max-wait %s, workers %d, max-queue %d)\n",
+		b.ID, ln.Addr(), cfg.MaxBatch, cfg.MaxWait, cfg.Workers, cfg.MaxQueue)
+	if inj != nil {
+		fmt.Fprintf(out, "chaos armed: %s\n", cfg.FaultPlan)
+	}
+	srv := &http.Server{Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+	fmt.Fprintf(out, "shutdown signal received, draining for up to %s\n", cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Drain deadline blown: some connections were cut. Report, don't hang.
+		fmt.Fprintf(out, "drain incomplete: %v\n", err)
+	}
+	co.Close() // flush anything the handlers already admitted
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "drained, bye")
+	return nil
 }

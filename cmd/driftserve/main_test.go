@@ -2,10 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestMkBundleAndLoadgen exercises the full binary surface at quick scale:
@@ -46,6 +50,9 @@ func TestMkBundleAndLoadgen(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "rows/s") {
 		t.Errorf("loadgen output missing throughput:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "verdict: clean") {
+		t.Errorf("loadgen output missing clean verdict line:\n%s", out.String())
 	}
 
 	blob, err := os.ReadFile(benchPath)
@@ -90,6 +97,136 @@ func TestMkBundleAndLoadgen(t *testing.T) {
 	blob, _ = os.ReadFile(benchPath)
 	if n := strings.Count(string(blob), `"name": "serve"`); n != 1 {
 		t.Errorf("serve stage appears %d times after re-run, want 1", n)
+	}
+}
+
+// mkTestBundle writes a quick-scale bundle for the resilience CLI tests.
+func mkTestBundle(t *testing.T) string {
+	t.Helper()
+	bundlePath := filepath.Join(t.TempDir(), "bundle.json")
+	var out strings.Builder
+	err := run([]string{
+		"-mkbundle", "-bundle", bundlePath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3", "-shots", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("mkbundle: %v\n%s", err, out.String())
+	}
+	return bundlePath
+}
+
+// TestChaosCheck runs the chaos acceptance mode end to end: default fault
+// storm, torn-response audit, recovery probe. It must report PASS and
+// exit cleanly.
+func TestChaosCheck(t *testing.T) {
+	bundlePath := mkTestBundle(t)
+	var out strings.Builder
+	err := run([]string{
+		"-chaoscheck", "-bundle", bundlePath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3",
+		"-conns", "4", "-duration", "600ms", "-rows-per-req", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("chaoscheck: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "chaoscheck: PASS") {
+		t.Errorf("missing PASS verdict:\n%s", text)
+	}
+	if !strings.Contains(text, "torn=0") {
+		t.Errorf("verdict line missing torn=0:\n%s", text)
+	}
+	// The default storm injects hard enough that at least one degraded or
+	// errored response should appear; a completely quiet run means the
+	// faults never armed.
+	if strings.Contains(text, "degraded=0 shed=0") && strings.Contains(text, "errors=0 timeouts=0") {
+		t.Errorf("chaos storm had no visible effect:\n%s", text)
+	}
+}
+
+// TestChaosCheckBadPlan rejects malformed -faults plans up front.
+func TestChaosCheckBadPlan(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-chaoscheck", "-faults", "batch.exec:rate=banana"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-faults") {
+		t.Errorf("bad plan error = %v, want -faults parse error", err)
+	}
+}
+
+// syncWriter lets the drain test read serve output while runServe is
+// still writing it from another goroutine.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestServeGracefulDrain boots the real serve mode on a loopback port,
+// confirms it answers /healthz, then delivers SIGTERM and expects a clean
+// drained exit within the drain deadline.
+func TestServeGracefulDrain(t *testing.T) {
+	bundlePath := mkTestBundle(t)
+	out := &syncWriter{}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-bundle", bundlePath, "-addr", "127.0.0.1:0",
+			"-drain-timeout", "5s",
+		}, out)
+	}()
+
+	// Wait for the listen line, then hit /healthz.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address:\n%s", out.String())
+		}
+		text := out.String()
+		if i := strings.Index(text, "http://"); i >= 0 {
+			if j := strings.IndexAny(text[i:], " \n"); j > 0 {
+				addr = text[i : i+j]
+			}
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("serve exited early: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	res, err := http.Get(addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", res.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drained exit returned %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not drain after SIGTERM:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Errorf("missing drain confirmation:\n%s", out.String())
 	}
 }
 

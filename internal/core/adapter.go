@@ -296,6 +296,15 @@ func (a *Adapter) InvariantFeatures() []int {
 	return a.sep.Invariant()
 }
 
+// NumFeatures returns the full raw feature width the adapter was fitted
+// on — what every serving row must have. Zero before Fit.
+func (a *Adapter) NumFeatures() int {
+	if !a.fitted {
+		return 0
+	}
+	return len(a.sep.invariant) + len(a.sep.variant)
+}
+
 // Reconstructor exposes the trained reconstructor (nil in ModeFS or when no
 // variant features were found).
 func (a *Adapter) Reconstructor() Reconstructor { return a.recon }

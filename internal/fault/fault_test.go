@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fireSeq records the outcome of n Fires against one site as a compact
+// string, panics included.
+func fireSeq(f *Injector, name string, n int) string {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = func() (c byte) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(Panic); !ok {
+						panic(r) // not ours
+					}
+					c = 'p'
+				}
+			}()
+			if err := f.Fire(name); err != nil {
+				return 'e'
+			}
+			return '.'
+		}()
+	}
+	return string(out)
+}
+
+func TestFireDeterministicAcrossRuns(t *testing.T) {
+	spec := Spec{ErrRate: 0.3, PanicRate: 0.1}
+	mk := func(seed int64) *Injector {
+		f := New(seed)
+		f.Set("a", spec)
+		f.Set("b", spec)
+		return f
+	}
+	f1, f2 := mk(42), mk(42)
+	// Interleave differently: site sequences must not depend on how other
+	// sites are exercised.
+	seqA1 := fireSeq(f1, "a", 64)
+	seqB1 := fireSeq(f1, "b", 64)
+	var seqA2, seqB2 string
+	for i := 0; i < 64; i++ {
+		seqB2 += fireSeq(f2, "b", 1)
+		seqA2 += fireSeq(f2, "a", 1)
+	}
+	if seqA1 != seqA2 || seqB1 != seqB2 {
+		t.Errorf("interleaving changed per-site sequences:\na: %s\n   %s\nb: %s\n   %s",
+			seqA1, seqA2, seqB1, seqB2)
+	}
+	if seqA1 == seqB1 {
+		t.Error("sites a and b drew identical sequences; per-site seeds not decorrelated")
+	}
+	if fireSeq(mk(43), "a", 64) == seqA1 {
+		t.Error("different injector seeds produced the same sequence")
+	}
+}
+
+func TestFireRateEndpoints(t *testing.T) {
+	f := New(1)
+	f.Set("always", Spec{ErrRate: 1})
+	f.Set("never", Spec{ErrRate: 0, SlowRate: 0})
+	for i := 0; i < 32; i++ {
+		if err := f.Fire("always"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("err=1 site returned %v, want ErrInjected", err)
+		}
+		if err := f.Fire("never"); err != nil {
+			t.Fatalf("disarmed site returned %v", err)
+		}
+		if err := f.Fire("unregistered"); err != nil {
+			t.Fatalf("unknown site returned %v", err)
+		}
+	}
+	st := f.Stats("always")
+	if st.Fires != 32 || st.Errs != 32 {
+		t.Errorf("always stats = %+v, want 32 fires / 32 errs", st)
+	}
+	if st := f.Stats("never"); st.Fires != 0 {
+		t.Errorf("disarmed site recorded %d fires", st.Fires)
+	}
+}
+
+func TestFireLatencyAndClear(t *testing.T) {
+	f := New(7)
+	var slept time.Duration
+	f.sleep = func(d time.Duration) { slept += d }
+	f.Set("s", Spec{SlowRate: 1, SlowFor: 5 * time.Millisecond})
+	for i := 0; i < 4; i++ {
+		if err := f.Fire("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := 20 * time.Millisecond; slept != want {
+		t.Errorf("slept %v, want %v", slept, want)
+	}
+	f.Clear()
+	if err := f.Fire("s"); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats("s"); st.Fires != 4 || st.Slows != 4 {
+		t.Errorf("stats after Clear = %+v, want fires=4 slows=4 preserved", st)
+	}
+}
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var f *Injector
+	f.Set("x", Spec{ErrRate: 1})
+	f.Clear()
+	f.Load(map[string]Spec{"x": {ErrRate: 1}})
+	if err := f.Fire("x"); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats("x"); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+	if s := f.Summary(); s != "faults: none" {
+		t.Errorf("nil summary = %q", s)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("batch.exec:err=0.25,slow=5ms@0.5,panic=0.05; bundle.load:err=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := plan["batch.exec"]
+	if exec.ErrRate != 0.25 || exec.PanicRate != 0.05 || exec.SlowRate != 0.5 || exec.SlowFor != 5*time.Millisecond {
+		t.Errorf("batch.exec spec = %+v", exec)
+	}
+	if load := plan["bundle.load"]; load.ErrRate != 1 {
+		t.Errorf("bundle.load spec = %+v", load)
+	}
+	// slow without @rate defaults to 1.
+	plan, err = ParsePlan("x:slow=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan["x"]; s.SlowRate != 1 || s.SlowFor != 2*time.Millisecond {
+		t.Errorf("slow default-rate spec = %+v", s)
+	}
+	if plan, err := ParsePlan("  "); err != nil || len(plan) != 0 {
+		t.Errorf("empty plan = %v, %v", plan, err)
+	}
+	for _, bad := range []string{
+		"noscolon", "x:err=2", "x:err=nope", "x:mystery=1", "x:slow=abc", "x:err", ":err=1",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPanicValueNamesSite(t *testing.T) {
+	f := New(3)
+	f.Set("boom", Spec{PanicRate: 1})
+	defer func() {
+		r := recover()
+		p, ok := r.(Panic)
+		if !ok || p.Site != "boom" {
+			t.Errorf("recovered %#v, want Panic{Site: boom}", r)
+		}
+	}()
+	_ = f.Fire("boom")
+	t.Fatal("Fire did not panic")
+}

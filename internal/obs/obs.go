@@ -37,6 +37,11 @@ const (
 	MetricServeBatchSize    = "netdrift_serve_batch_size"         // fixed histogram
 	MetricServeQueueDepth   = "netdrift_serve_queue_depth"        // gauge
 	MetricServeBundleLoads  = "netdrift_serve_bundle_loads_total" // counter
+	// internal/serve resilience layer
+	MetricServeShed               = "netdrift_serve_shed_total"                // counter: requests refused with 429 by admission control
+	MetricServeDegraded           = "netdrift_serve_degraded_total"            // counter: passthrough (degraded: true) responses
+	MetricServePanics             = "netdrift_serve_recovered_panics_total"    // counter{site="executor"|"handler"}
+	MetricServeBreakerTransitions = "netdrift_serve_breaker_transitions_total" // counter{breaker=..., to="closed"|"open"|"half-open"}
 )
 
 // TrainEpoch reports one completed reconstructor training epoch.

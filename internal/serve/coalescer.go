@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netdrift/internal/core"
+	"netdrift/internal/fault"
 	"netdrift/internal/models"
 	"netdrift/internal/nn"
 	"netdrift/internal/obs"
@@ -15,6 +18,24 @@ import (
 
 // ErrClosed is returned by Submit after Close has begun.
 var ErrClosed = errors.New("serve: coalescer closed")
+
+// ErrOverloaded is returned by Submit when the admission queue is full;
+// the HTTP layer maps it to 429 + Retry-After instead of queueing
+// unboundedly.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// ErrExecPanic wraps a panic recovered inside a batch executor. The
+// worker loop survives; the requests in the panicked group fail with
+// this error (HTTP 500) and the executor breaker records a failure.
+var ErrExecPanic = errors.New("serve: executor panic")
+
+// ErrRowWidth is wrapped by per-request feature-width failures detected
+// at batch pickup; the HTTP layer maps it to 400.
+var ErrRowWidth = errors.New("serve: row width mismatch")
+
+// errNonFinite marks NaN/Inf detected in adapted output — an unhealthy
+// generator, handled by degrading to passthrough.
+var errNonFinite = errors.New("serve: non-finite value in adapted output")
 
 // Options tune the coalescer. Zero values select the defaults.
 type Options struct {
@@ -28,6 +49,19 @@ type Options struct {
 	// Workers is the number of batch executors, each owning its private
 	// adaptation scratch. Default 1.
 	Workers int
+	// MaxQueue bounds the admission queue in rows: a Submit that would
+	// push the queued (not yet executing) rows past this is shed with
+	// ErrOverloaded instead of waiting. Default 4096.
+	MaxQueue int
+	// RequestTimeout is the per-request deadline the HTTP handler applies
+	// before Submit, propagated into the coalescer via the request
+	// context. Zero disables it.
+	RequestTimeout time.Duration
+	// Breaker tunes the executor circuit breaker that drives degraded
+	// passthrough mode.
+	Breaker BreakerConfig
+	// Faults arms chaos injection at FaultSiteExec. Nil in production.
+	Faults *fault.Injector
 	// Obs receives serving metrics. May be nil.
 	Obs *obs.Observer
 }
@@ -42,6 +76,9 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4096
+	}
 	return o
 }
 
@@ -51,6 +88,10 @@ type Result struct {
 	BundleID    string
 	Rows        [][]float64
 	Predictions [][]float64 // nil unless requested and the bundle has a classifier
+	// Degraded marks a passthrough response: the adaptation machinery was
+	// unhealthy (breaker open, batch failure, or non-finite generator
+	// output), so Rows echoes the raw input features unadapted.
+	Degraded bool
 }
 
 // request is one submitted unit riding through the coalescer. done is
@@ -75,6 +116,14 @@ type reqOutcome struct {
 // on one worker. Per-row noise seeds are derived from each request's seed
 // before batching, so responses are bit-identical to unbatched serving
 // (see core.AdaptBatch).
+//
+// The resilience layer on top: admission is bounded by MaxQueue rows
+// (excess load is shed, never queued), executor panics are recovered
+// without killing the worker loop, and a circuit breaker around batch
+// execution switches the coalescer into degraded passthrough — raw rows
+// echoed with Result.Degraded set — instead of failing every request
+// while the adapter is unhealthy. One half-open probe batch after the
+// faults stop restores the bit-identical golden path.
 type Coalescer struct {
 	opts Options
 	reg  *Registry
@@ -88,18 +137,28 @@ type Coalescer struct {
 	dispatcher sync.WaitGroup
 	workers    sync.WaitGroup
 
+	queuedRows  atomic.Int64 // rows admitted but not yet picked up by a worker
+	execBreaker *Breaker
+
 	queueDepth *obs.Gauge
+	shed       *obs.Counter
+	degraded   *obs.Counter
+	panics     *obs.Counter
 }
 
 // NewCoalescer starts the dispatcher and worker pool serving from reg.
 func NewCoalescer(reg *Registry, opts Options) *Coalescer {
 	opts = opts.withDefaults()
 	c := &Coalescer{
-		opts:       opts,
-		reg:        reg,
-		reqCh:      make(chan *request, opts.MaxBatch),
-		workCh:     make(chan []*request, opts.Workers),
-		queueDepth: opts.Obs.Gauge(obs.MetricServeQueueDepth),
+		opts:        opts,
+		reg:         reg,
+		reqCh:       make(chan *request, opts.MaxQueue),
+		workCh:      make(chan []*request, opts.Workers),
+		execBreaker: NewBreaker("executor", opts.Breaker, opts.Obs),
+		queueDepth:  opts.Obs.Gauge(obs.MetricServeQueueDepth),
+		shed:        opts.Obs.Counter(obs.MetricServeShed),
+		degraded:    opts.Obs.Counter(obs.MetricServeDegraded),
+		panics:      opts.Obs.Counter(obs.MetricServePanics, "site", "executor"),
 	}
 	c.dispatcher.Add(1)
 	go c.dispatch()
@@ -110,10 +169,30 @@ func NewCoalescer(reg *Registry, opts Options) *Coalescer {
 	return c
 }
 
+// Status is the health snapshot of the serving pipeline behind /healthz.
+type Status struct {
+	ExecBreaker BreakerStatus `json:"exec_breaker"`
+	QueuedRows  int64         `json:"queued_rows"`
+	MaxQueue    int           `json:"max_queue"`
+}
+
+// Status snapshots the executor breaker and admission queue.
+func (c *Coalescer) Status() Status {
+	return Status{
+		ExecBreaker: c.execBreaker.Status(),
+		QueuedRows:  c.queuedRows.Load(),
+		MaxQueue:    c.opts.MaxQueue,
+	}
+}
+
+// options exposes the effective options to the HTTP layer.
+func (c *Coalescer) options() Options { return c.opts }
+
 // Submit queues rows for adaptation and blocks until the batch containing
 // them completes, ctx is done, or the coalescer closes. Row i's noise is
 // seeded with core.SampleSeed(seed, i) regardless of how the request is
-// batched or split.
+// batched or split. When the queued backlog exceeds MaxQueue rows the
+// request is shed immediately with ErrOverloaded.
 func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, predict bool) (Result, error) {
 	if len(rows) == 0 {
 		return Result{}, fmt.Errorf("serve: empty request")
@@ -128,6 +207,17 @@ func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, pr
 	// not wait on result delivery (results need Close's own drain flush).
 	c.submitters.Add(1)
 	c.mu.Unlock()
+
+	// Admission control: shed instead of queueing past MaxQueue rows. The
+	// counter is released when a worker picks the rows up (runGroup), so
+	// it bounds waiting work, not in-flight work.
+	n := int64(len(rows))
+	if c.queuedRows.Add(n) > int64(c.opts.MaxQueue) {
+		c.queuedRows.Add(-n)
+		c.submitters.Done()
+		c.shed.Inc()
+		return Result{}, ErrOverloaded
+	}
 
 	seeds := make([]int64, len(rows))
 	for i := range seeds {
@@ -146,6 +236,7 @@ func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, pr
 		enqueued = true
 		c.queueDepth.Add(1)
 	case <-ctx.Done():
+		c.queuedRows.Add(-n)
 	}
 	c.submitters.Done()
 	if !enqueued {
@@ -153,7 +244,8 @@ func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, pr
 	}
 	// Once enqueued the request always gets an outcome (done is buffered,
 	// so the executor never blocks on an abandoned waiter), but a caller
-	// whose context dies while queued gets unblocked immediately.
+	// whose context dies while queued or mid-batch gets unblocked
+	// immediately.
 	select {
 	case out := <-req.done:
 		return out.res, out.err
@@ -243,17 +335,29 @@ func (c *Coalescer) work() {
 	var adaptScr core.AdaptScratch
 	var mlpScr models.MLPScratch
 	o := c.opts.Obs
-	batchLatency := o.FixedHistogram(obs.MetricServeBatchLatency, obs.LatencyBuckets)
-	batchSize := o.FixedHistogram(obs.MetricServeBatchSize, obs.BatchSizeBuckets)
-	batches := o.Counter(obs.MetricServeBatches)
-	rowsTotal := o.Counter(obs.MetricServeRows)
+	m := &workerMetrics{
+		batchLatency: o.FixedHistogram(obs.MetricServeBatchLatency, obs.LatencyBuckets),
+		batchSize:    o.FixedHistogram(obs.MetricServeBatchSize, obs.BatchSizeBuckets),
+		batches:      o.Counter(obs.MetricServeBatches),
+		rowsTotal:    o.Counter(obs.MetricServeRows),
+	}
 	for group := range c.workCh {
-		c.runGroup(group, &adaptScr, &mlpScr, batchLatency, batchSize, batches, rowsTotal)
+		c.runGroup(group, &adaptScr, &mlpScr, m)
 	}
 }
 
-func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpScr *models.MLPScratch,
-	batchLatency, batchSize *obs.FixedHistogram, batches, rowsTotal *obs.Counter) {
+type workerMetrics struct {
+	batchLatency, batchSize *obs.FixedHistogram
+	batches, rowsTotal      *obs.Counter
+}
+
+func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpScr *models.MLPScratch, m *workerMetrics) {
+	// The group is leaving the admission queue: release its rows.
+	var groupRows int64
+	for _, req := range group {
+		groupRows += int64(len(req.rows))
+	}
+	c.queuedRows.Add(-groupRows)
 	// Drop requests whose submitter already gave up; they still get an
 	// outcome so Submit never leaks a waiter.
 	live := group[:0]
@@ -269,10 +373,90 @@ func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpS
 	}
 	bundle := c.reg.Current()
 	if bundle == nil {
-		for _, req := range live {
-			req.done <- reqOutcome{err: ErrNoBundle}
+		// No artifact at all: if loading is circuit-broken there is a
+		// bundle that should exist but can't be trusted — degrade to
+		// passthrough. Before any load was ever attempted, fail plainly.
+		if b := c.reg.Breaker(); b != nil && b.Status().State != BreakerClosed {
+			c.degrade(live, "")
+			return
 		}
+		c.failGroup(live, ErrNoBundle)
 		return
+	}
+	// Per-request input-shape guard: a malformed direct Submit must fail
+	// its own request, not poison the batch or trip the breaker.
+	width := bundle.Adapter.NumFeatures()
+	shaped := live[:0]
+	for _, req := range live {
+		if badRow := rowWidthMismatch(req.rows, width); badRow >= 0 {
+			req.done <- reqOutcome{err: fmt.Errorf("%w: rows[%d] has %d features, bundle %q expects %d",
+				ErrRowWidth, badRow, len(req.rows[badRow]), bundle.ID, width)}
+			continue
+		}
+		shaped = append(shaped, req)
+	}
+	live = shaped
+	if len(live) == 0 {
+		return
+	}
+	if !c.execBreaker.Allow() {
+		c.degrade(live, bundle.ID)
+		return
+	}
+	outRows, outPreds, err := c.execute(bundle, live, adaptScr, mlpScr, m)
+	switch {
+	case err == nil:
+		c.execBreaker.Success()
+	case errors.Is(err, errGroupCanceled):
+		// Every submitter gave up mid-batch; not an adapter failure.
+		c.failGroup(live, err)
+		return
+	case errors.Is(err, ErrExecPanic):
+		// A panicked executor cannot vouch for any partial output: fail
+		// the group (HTTP 500), count the breaker failure, keep serving.
+		c.execBreaker.Fail()
+		c.failGroup(live, err)
+		return
+	default:
+		// Batch error or non-finite output: the adapter is unhealthy but
+		// the raw features still carry signal — degrade, don't fail.
+		c.execBreaker.Fail()
+		c.degrade(live, bundle.ID)
+		return
+	}
+	m.rowsTotal.Add(float64(len(outRows)))
+	// Scatter the flat results back to their requests.
+	off := 0
+	for _, req := range live {
+		n := len(req.rows)
+		res := Result{BundleID: bundle.ID, Rows: outRows[off : off+n : off+n]}
+		if req.predict && outPreds != nil {
+			res.Predictions = outPreds[off : off+n : off+n]
+		}
+		req.done <- reqOutcome{res: res}
+		off += n
+	}
+}
+
+// errGroupCanceled aborts a batch whose submitters have all given up.
+var errGroupCanceled = errors.New("serve: every request in batch canceled")
+
+// execute runs one batch group end to end, returning defensive copies of
+// the adapted rows (and predictions when requested). Any panic — from
+// chaos injection or a kernel bug — is recovered into ErrExecPanic so the
+// worker loop survives. Adapted output is scanned for NaN/Inf, which is
+// reported as an error (the degradation trigger) rather than served.
+func (c *Coalescer) execute(bundle *Bundle, live []*request, adaptScr *core.AdaptScratch,
+	mlpScr *models.MLPScratch, m *workerMetrics) (outRows, outPreds [][]float64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.panics.Inc()
+			outRows, outPreds = nil, nil
+			err = fmt.Errorf("%w: %v", ErrExecPanic, rec)
+		}
+	}()
+	if err := c.opts.Faults.Fire(FaultSiteExec); err != nil {
+		return nil, nil, err
 	}
 	start := time.Now()
 	// Stitch the group into one flat row list, then run it in chunks of
@@ -293,24 +477,30 @@ func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpS
 			}
 		}
 	}
-	outRows := make([][]float64, 0, len(allRows))
-	var outPreds [][]float64
+	outRows = make([][]float64, 0, len(allRows))
 	for lo := 0; lo < len(allRows); lo += c.opts.MaxBatch {
+		// A long split (oversized request, slow executor) re-checks the
+		// submitters between chunks: if every waiter is gone, stop
+		// burning compute on undeliverable results.
+		if lo > 0 && allCanceled(live) {
+			return nil, nil, errGroupCanceled
+		}
 		hi := lo + c.opts.MaxBatch
 		if hi > len(allRows) {
 			hi = len(allRows)
 		}
 		adapted, err := bundle.Adapter.AdaptBatch(allRows[lo:hi], allSeeds[lo:hi], adaptScr)
 		if err != nil {
-			c.failGroup(live, err)
-			return
+			return nil, nil, err
+		}
+		if !finiteTensor(adapted) {
+			return nil, nil, errNonFinite
 		}
 		var preds *nn.Tensor
 		if wantPredict {
 			preds, err = bundle.Classifier.PredictProbaT(adapted, mlpScr)
 			if err != nil {
-				c.failGroup(live, err)
-				return
+				return nil, nil, err
 			}
 		}
 		// The scratch tensors are reused next chunk: copy results out.
@@ -320,21 +510,25 @@ func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpS
 				outPreds = append(outPreds, append([]float64(nil), preds.Row(i)...))
 			}
 		}
-		batchSize.Observe(float64(hi - lo))
-		batches.Inc()
+		m.batchSize.Observe(float64(hi - lo))
+		m.batches.Inc()
 	}
-	batchLatency.Observe(time.Since(start).Seconds())
-	rowsTotal.Add(float64(len(allRows)))
-	// Scatter the flat results back to their requests.
-	off := 0
+	m.batchLatency.Observe(time.Since(start).Seconds())
+	return outRows, outPreds, nil
+}
+
+// degrade serves the group in passthrough mode: each request gets its raw
+// input rows echoed back with Degraded set, so clients keep receiving
+// feature vectors (the invariant-carrying raw signal) while the adapter
+// heals. bundleID may be empty when no bundle is installed.
+func (c *Coalescer) degrade(live []*request, bundleID string) {
 	for _, req := range live {
-		n := len(req.rows)
-		res := Result{BundleID: bundle.ID, Rows: outRows[off : off+n : off+n]}
-		if req.predict && outPreds != nil {
-			res.Predictions = outPreds[off : off+n : off+n]
+		rows := make([][]float64, len(req.rows))
+		for i, r := range req.rows {
+			rows[i] = append([]float64(nil), r...)
 		}
-		req.done <- reqOutcome{res: res}
-		off += n
+		c.degraded.Inc()
+		req.done <- reqOutcome{res: Result{BundleID: bundleID, Rows: rows, Degraded: true}}
 	}
 }
 
@@ -342,4 +536,36 @@ func (c *Coalescer) failGroup(live []*request, err error) {
 	for _, req := range live {
 		req.done <- reqOutcome{err: err}
 	}
+}
+
+// rowWidthMismatch returns the index of the first row whose length is not
+// width, or -1.
+func rowWidthMismatch(rows [][]float64, width int) int {
+	for i, r := range rows {
+		if len(r) != width {
+			return i
+		}
+	}
+	return -1
+}
+
+func allCanceled(live []*request) bool {
+	for _, req := range live {
+		if req.ctx.Err() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// finiteTensor reports whether every element of t is finite.
+func finiteTensor(t *nn.Tensor) bool {
+	for i := 0; i < t.Rows(); i++ {
+		for _, v := range t.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"net/http"
 	"time"
 
@@ -27,9 +30,17 @@ type AdaptResponse struct {
 	BundleID    string      `json:"bundle_id"`
 	Rows        [][]float64 `json:"rows"`
 	Predictions [][]float64 `json:"predictions,omitempty"`
+	// Degraded marks a passthrough response: the adapter was unhealthy,
+	// so Rows echoes the raw input features (see the degradation contract
+	// in DESIGN §5e). Absent on the golden path, keeping healthy
+	// responses byte-identical to pre-resilience serving.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Server wires the coalescer, registry, and observer into an http.Handler.
+// Every request runs inside panic-recovery middleware: a handler panic
+// (chaos-injected or real) is converted into a 500 without taking the
+// process or the coalescer down.
 type Server struct {
 	reg *Registry
 	co  *Coalescer
@@ -47,8 +58,40 @@ func NewServer(reg *Registry, co *Coalescer, o *obs.Observer) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler with panic recovery around the whole
+// handler tree.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.o.Counter(obs.MetricServePanics, "site", "handler").Inc()
+			// If the handler already started the response this write is a
+			// no-op; the client sees a truncated body, never a torn one.
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// validateRows checks every row at the API boundary: feature width (when
+// a bundle is installed) and finiteness, so malformed input fails with a
+// field-level 400 instead of flowing into the kernels.
+func (s *Server) validateRows(rows [][]float64) error {
+	width := 0
+	if b := s.reg.Current(); b != nil {
+		width = b.Adapter.NumFeatures()
+	}
+	for i, row := range rows {
+		if width > 0 && len(row) != width {
+			return fmt.Errorf("rows[%d]: %d features, want %d", i, len(row), width)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("rows[%d][%d]: non-finite value", i, j)
+			}
+		}
+	}
+	return nil
+}
 
 func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -68,46 +111,126 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "rows must not be empty")
 		return
 	}
-	res, err := s.co.Submit(r.Context(), req.Rows, req.Seed, req.Predict)
+	if err := s.validateRows(req.Rows); err != nil {
+		outcome("error")
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Chaos injection point for the handler itself. An injected panic
+	// exercises the recovery middleware; an injected error maps to 500.
+	if err := s.co.options().Faults.Fire(FaultSiteHandler); err != nil {
+		outcome("error")
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Propagate a per-request deadline into the coalescer so a stuck or
+	// slow batch cannot hold the connection open unboundedly.
+	ctx := r.Context()
+	if t := s.co.options().RequestTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	res, err := s.co.Submit(ctx, req.Rows, req.Seed, req.Predict)
 	switch {
 	case err == nil:
-	case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+	case errors.Is(err, ErrOverloaded):
+		outcome("shed")
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome("timeout")
+		httpError(w, http.StatusRequestTimeout, err.Error())
+		return
+	case errors.Is(err, context.Canceled):
 		outcome("canceled")
 		httpError(w, http.StatusRequestTimeout, err.Error())
 		return
-	case errors.Is(err, ErrNoBundle):
+	case errors.Is(err, ErrRowWidth):
+		outcome("error")
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, ErrNoBundle), errors.Is(err, ErrClosed):
 		outcome("error")
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrExecPanic):
 		outcome("error")
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	default:
 		outcome("error")
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	outcome("ok")
+	if res.Degraded {
+		outcome("degraded")
+	} else {
+		outcome("ok")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(AdaptResponse{
 		BundleID:    res.BundleID,
 		Rows:        res.Rows,
 		Predictions: res.Predictions,
+		Degraded:    res.Degraded,
 	})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	type health struct {
-		Status string `json:"status"`
-		Bundle string `json:"bundle,omitempty"`
+// Health statuses reported by /healthz.
+const (
+	HealthOK       = "ok"       // golden path: bundle installed, breakers closed
+	HealthDegraded = "degraded" // serving passthrough or recovering (a breaker is not closed)
+	HealthDown     = "down"     // nothing to serve: no bundle and no evidence one exists
+)
+
+// HealthReport is the /healthz body: overall status plus per-component
+// detail for operators.
+type HealthReport struct {
+	Status     string `json:"status"`
+	Bundle     string `json:"bundle,omitempty"`
+	Components struct {
+		BundleLoad BreakerStatus `json:"bundle_load"`
+		Executor   BreakerStatus `json:"executor"`
+		Admission  struct {
+			QueuedRows int64 `json:"queued_rows"`
+			MaxQueue   int   `json:"max_queue"`
+		} `json:"admission"`
+	} `json:"components"`
+}
+
+// Health assembles the current health report. Status is HealthDown (503)
+// only when there is no bundle and the load breaker has seen nothing
+// wrong — i.e. nothing was ever loaded; any open or half-open breaker
+// reads HealthDegraded (200: passthrough is still serving).
+func (s *Server) Health() HealthReport {
+	var h HealthReport
+	bundle := s.reg.Current()
+	loadSt := s.reg.Breaker().Status()
+	co := s.co.Status()
+	if bundle != nil {
+		h.Bundle = bundle.ID
 	}
-	h := health{Status: "ok"}
+	h.Components.BundleLoad = loadSt
+	h.Components.Executor = co.ExecBreaker
+	h.Components.Admission.QueuedRows = co.QueuedRows
+	h.Components.Admission.MaxQueue = co.MaxQueue
+	switch {
+	case bundle == nil && loadSt.State == BreakerClosed:
+		h.Status = HealthDown
+	case loadSt.State != BreakerClosed || co.ExecBreaker.State != BreakerClosed:
+		h.Status = HealthDegraded
+	default:
+		h.Status = HealthOK
+	}
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
 	w.Header().Set("Content-Type", "application/json")
-	if b := s.reg.Current(); b != nil {
-		h.Bundle = b.ID
-	} else {
-		h.Status = "no-bundle"
+	if h.Status == HealthDown {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(h)
