@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,7 +52,7 @@ func runChaosCheck(out io.Writer, cfg config) error {
 	if cfg.BreakerMaxBackoff == 30*time.Second {
 		cfg.BreakerMaxBackoff = 20 * time.Millisecond
 	}
-	_, reg, co, handler, inj, err := buildStack(cfg)
+	o, reg, co, handler, inj, err := buildStack(cfg)
 	if err != nil {
 		return err
 	}
@@ -231,6 +232,19 @@ func runChaosCheck(out io.Writer, cfg config) error {
 		fmtRecovered(recovered))
 	fmt.Fprintf(out, "  %s\n", inj.Summary())
 	if verdict != "PASS" {
+		// A failed acceptance run is exactly what the black box is for:
+		// dump the flight ring (bypassing the incident throttle — this
+		// write must not be suppressed by an earlier breaker snapshot) so
+		// the fault/breaker/shed timeline that produced the failure
+		// survives for `driftserve -obsdump`.
+		if o.Flight != nil && cfg.FlightSnap != "" {
+			if f, ferr := os.Create(cfg.FlightSnap); ferr == nil {
+				if o.Flight.WriteSnapshot(f, "chaoscheck-fail") == nil {
+					fmt.Fprintf(out, "  flight recorder dumped to %s\n", cfg.FlightSnap)
+				}
+				f.Close()
+			}
+		}
 		return fmt.Errorf("chaoscheck failed: %v", reasons)
 	}
 	return nil

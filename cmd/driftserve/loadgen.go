@@ -58,6 +58,10 @@ func runLoadgen(out io.Writer, cfg config) error {
 	url := "http://" + ln.Addr().String() + "/v1/adapt"
 
 	latency := obs.NewFixedHistogram(obs.LatencyBuckets)
+	// Client-side rolling RED tracker: the caller's view of the SLO, fed
+	// the same objective the server burns against. One window wide enough
+	// to cover the whole run, so the verdict quantiles summarize everything.
+	red := obs.NewSLOSet(cfg.slo(), cfg.Duration+time.Minute, 0, nil)
 	var requests, servedRows, degraded, shed, timeouts, failures atomic.Int64
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
@@ -80,13 +84,16 @@ func runLoadgen(out io.Writer, cfg config) error {
 				res, err := client.Post(url, "application/json", bytes.NewReader(body))
 				if err != nil {
 					failures.Add(1)
+					red.Observe(serve.EndpointAdapt, time.Since(start).Seconds(), true)
 					continue
 				}
 				var ar serve.AdaptResponse
 				decErr := json.NewDecoder(res.Body).Decode(&ar)
 				io.Copy(io.Discard, res.Body)
 				res.Body.Close()
-				latency.Observe(time.Since(start).Seconds())
+				secs := time.Since(start).Seconds()
+				latency.Observe(secs)
+				isErr := false
 				switch {
 				case res.StatusCode == http.StatusOK && decErr == nil && ar.Degraded:
 					degraded.Add(1)
@@ -95,11 +102,15 @@ func runLoadgen(out io.Writer, cfg config) error {
 					servedRows.Add(int64(len(batch)))
 				case res.StatusCode == http.StatusTooManyRequests:
 					shed.Add(1)
+					isErr = true
 				case res.StatusCode == http.StatusRequestTimeout:
 					timeouts.Add(1)
+					isErr = true
 				default:
 					failures.Add(1)
+					isErr = true
 				}
+				red.Observe(serve.EndpointAdapt, secs, isErr)
 			}
 		}(c)
 	}
@@ -125,8 +136,12 @@ func runLoadgen(out io.Writer, cfg config) error {
 	} else if degraded.Load()+shed.Load()+timeouts.Load() > 0 {
 		verdict = "lossy"
 	}
-	fmt.Fprintf(out, "  verdict: %s  total=%d ok=%d degraded=%d shed=%d timeouts=%d errors=%d\n",
-		verdict, total, requests.Load(), degraded.Load(), shed.Load(), timeouts.Load(), failures.Load())
+	// The rolling-window view: client-observed quantiles plus the burn rate
+	// against the configured SLO (1.0 = burning the whole error budget).
+	stats := red.Tracker(serve.EndpointAdapt).Stats(cfg.Duration + time.Minute)
+	fmt.Fprintf(out, "  verdict: %s  total=%d ok=%d degraded=%d shed=%d timeouts=%d errors=%d  p50=%.2fms p95=%.2fms p99=%.2fms burn=%.2f\n",
+		verdict, total, requests.Load(), degraded.Load(), shed.Load(), timeouts.Load(), failures.Load(),
+		stats.P50Seconds*1e3, stats.P95Seconds*1e3, stats.P99Seconds*1e3, stats.BurnRate)
 	if requests.Load() == 0 {
 		return fmt.Errorf("loadgen completed zero golden-path requests")
 	}
@@ -136,6 +151,11 @@ func runLoadgen(out io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	// Carry the end-to-end rolling quantiles and burn rate into the bench
+	// report so BENCH_parallel.json records the SLO picture, not just the
+	// kernel speedup.
+	st.P50Seconds, st.P95Seconds, st.P99Seconds = stats.P50Seconds, stats.P95Seconds, stats.P99Seconds
+	st.BurnRate = stats.BurnRate
 	fmt.Fprintf(out, "serve stage: seq(batch=1) %.3fs  batched(%d) %.3fs  speedup %.2fx  allocs %d/%d  bit-identical %v\n",
 		st.SeqSeconds, cfg.MaxBatch, st.ParSeconds, st.Speedup, st.SeqAllocs, st.ParAllocs, st.BitIdentical)
 	if cfg.BenchOut != "" {
@@ -158,6 +178,12 @@ type serveStageReport struct {
 	ParAllocs    uint64  `json:"par_allocs"`
 	ParBytes     uint64  `json:"par_bytes"`
 	BitIdentical bool    `json:"bit_identical"`
+	// End-to-end rolling-window latency quantiles and SLO burn rate from
+	// the closed-loop HTTP load (zero when the stage runs without loadgen).
+	P50Seconds float64 `json:"p50_seconds,omitempty"`
+	P95Seconds float64 `json:"p95_seconds,omitempty"`
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
+	BurnRate   float64 `json:"burn_rate,omitempty"`
 }
 
 // serveStage measures the micro-batching win: the sequential pass serves

@@ -65,6 +65,13 @@ type config struct {
 	BreakerMaxBackoff time.Duration
 	DrainTimeout      time.Duration
 
+	// Observability knobs.
+	TracePath       string
+	FlightCap       int
+	FlightSnap      string
+	SLOLatency      time.Duration
+	SLOAvailability float64
+
 	Dataset   string
 	ScaleName string
 	Scale     experiments.Scale
@@ -138,6 +145,14 @@ func run(args []string, out io.Writer) error {
 		rowsPerReq = fs.Int("rows-per-req", 8, "rows per request for -loadgen")
 		benchOut   = fs.String("bench-out", "", "append the serve micro-batching stage to this BENCH_parallel.json (empty = skip)")
 
+		obsdump = fs.String("obsdump", "", "pretty-print a flight-recorder snapshot file and exit")
+
+		trace      = fs.String("trace", "", `span sink: write one JSON line per finished span to this file ("-" = stdout; empty = tracing off, the zero-allocation path)`)
+		flightCap  = fs.Int("flightrec-cap", obs.DefaultFlightCapacity, "flight-recorder ring capacity in events (0 = recorder off)")
+		flightSnap = fs.String("flightrec-snap", "flightrec.json", "file the flight ring is auto-snapshotted to on incidents (executor panic, breaker open); empty disarms")
+		sloLatency = fs.Duration("slo-latency", 250*time.Millisecond, "SLO latency objective: slower successful requests burn the error budget")
+		sloAvail   = fs.Float64("slo-availability", 0.999, "SLO availability objective in (0,1); the error budget is 1-availability")
+
 		faults            = fs.String("faults", "", `deterministic fault plan, e.g. "batch.exec:err=0.2,panic=0.05,slow=1ms@0.3;http.adapt:err=0.1" (sites: bundle.load, batch.exec, http.adapt)`)
 		maxQueue          = fs.Int("max-queue", 4096, "admission queue bound in rows; excess load is shed with 429")
 		requestTimeout    = fs.Duration("request-timeout", 0, "per-request deadline applied by the server (0 = none)")
@@ -158,10 +173,14 @@ func run(args []string, out io.Writer) error {
 		FaultPlan: *faults, MaxQueue: *maxQueue, RequestTimeout: *requestTimeout,
 		BreakerThreshold: *breakerThreshold, BreakerBackoff: *breakerBackoff,
 		BreakerMaxBackoff: *breakerMaxBackoff, DrainTimeout: *drainTimeout,
+		TracePath: *trace, FlightCap: *flightCap, FlightSnap: *flightSnap,
+		SLOLatency: *sloLatency, SLOAvailability: *sloAvail,
 		Dataset: *ds, ScaleName: *scale, Scale: sc, Seed: *seed, Shots: *shots, ID: *id,
 		Conns: *conns, Duration: *duration, RowsPerReq: *rowsPerReq, BenchOut: *benchOut,
 	}
 	switch {
+	case *obsdump != "":
+		return runObsDump(out, *obsdump)
 	case *mkbundle:
 		return runMkBundle(out, cfg)
 	case *proberow:
@@ -173,6 +192,11 @@ func run(args []string, out io.Writer) error {
 	default:
 		return runServe(out, cfg)
 	}
+}
+
+// slo maps the CLI knobs onto the obs.SLO objective.
+func (c config) slo() obs.SLO {
+	return obs.SLO{LatencyObjective: c.SLOLatency.Seconds(), Availability: c.SLOAvailability}
 }
 
 // runProbeRow prints the first target-test row of the configured dataset
@@ -241,9 +265,33 @@ func runMkBundle(out io.Writer, cfg config) error {
 
 // buildStack assembles the full hardened serving stack from cfg: registry
 // with a load breaker (and chaos, when armed), coalescer with admission
-// control + executor breaker, HTTP handler tree.
+// control + executor breaker, HTTP handler tree, plus the observability
+// layer — flight recorder (armed for incident snapshots), optional span
+// sink, SLO trackers, and chaos wiring into both.
 func buildStack(cfg config) (*obs.Observer, *serve.Registry, *serve.Coalescer, *serve.Server, *fault.Injector, error) {
 	o := obs.New()
+	if cfg.FlightCap != 0 {
+		o.Flight = obs.NewFlightRecorder(cfg.FlightCap)
+		o.Flight.CountEvents(o.Registry.Counter(obs.MetricFlightEvents))
+		if cfg.FlightSnap != "" {
+			o.Flight.SetAutoSnapshot(cfg.FlightSnap, 0)
+		}
+	}
+	if cfg.TracePath != "" {
+		w := io.Writer(os.Stdout)
+		if cfg.TracePath != "-" {
+			f, err := os.Create(cfg.TracePath)
+			if err != nil {
+				return nil, nil, nil, nil, nil, fmt.Errorf("-trace: %w", err)
+			}
+			w = f // lives for the process; closed by exit
+		}
+		sink := obs.NewJSONLinesSink(w)
+		sink.CountDrops(o.Registry.Counter(obs.MetricSpanDrops))
+		// Span completions also land in the flight ring, so a snapshot
+		// shows the request timeline alongside the control events.
+		o.Spans = o.Flight.SpanSink(sink)
+	}
 	inj, err := cfg.faultInjector()
 	if err != nil {
 		return nil, nil, nil, nil, nil, err
@@ -252,7 +300,40 @@ func buildStack(cfg config) (*obs.Observer, *serve.Registry, *serve.Coalescer, *
 	reg.SetBreaker(serve.NewBreaker("bundle_load", cfg.breakerConfig(), o))
 	reg.SetFaults(inj)
 	co := serve.NewCoalescer(reg, cfg.serveOptions(o, inj))
-	return o, reg, co, serve.NewServer(reg, co, o), inj, nil
+	srv := serve.NewServer(reg, co, o)
+	srv.ConfigureSLO(cfg.slo())
+	serve.WireChaos(inj, o, srv.SLOSet())
+	return o, reg, co, srv, inj, nil
+}
+
+// runObsDump pretty-prints a flight-recorder snapshot file (written by
+// /debug/flightrec, an incident auto-snapshot, or a chaoscheck failure) as
+// a human-readable timeline.
+func runObsDump(out io.Writer, path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("%s: not a flight-recorder snapshot: %w", path, err)
+	}
+	dropped := int64(snap.LastSeq) - int64(len(snap.Events))
+	fmt.Fprintf(out, "flight recorder snapshot %s\n", path)
+	fmt.Fprintf(out, "  reason=%s taken=%s events=%d/%d capacity=%d overwritten=%d\n",
+		snap.Reason, snap.TakenAt.Format(time.RFC3339Nano), len(snap.Events), snap.LastSeq, snap.Capacity, max(dropped, 0))
+	for _, ev := range snap.Events {
+		line := fmt.Sprintf("  %6d  %s  %-8s %-14s", ev.Seq,
+			time.Unix(0, ev.Nanos).Format("15:04:05.000000"), ev.Kind, ev.Name)
+		if ev.Trace != "" {
+			line += "  trace=" + ev.Trace
+		}
+		if ev.Detail != "" {
+			line += "  " + ev.Detail
+		}
+		fmt.Fprintln(out, line)
+	}
+	return nil
 }
 
 // runServe loads the bundle and serves until SIGTERM/SIGINT, then drains
@@ -275,6 +356,9 @@ func runServe(out io.Writer, cfg config) error {
 		b.ID, ln.Addr(), cfg.MaxBatch, cfg.MaxWait, cfg.Workers, cfg.MaxQueue)
 	if inj != nil {
 		fmt.Fprintf(out, "chaos armed: %s\n", cfg.FaultPlan)
+	}
+	if cfg.TracePath != "" {
+		fmt.Fprintf(out, "tracing spans to %s (header %s)\n", cfg.TracePath, serve.TraceHeader)
 	}
 	srv := &http.Server{Handler: handler}
 

@@ -125,6 +125,7 @@ func TestChaosCheck(t *testing.T) {
 		"-chaoscheck", "-bundle", bundlePath,
 		"-dataset", "5gc", "-scale", "quick", "-seed", "3",
 		"-conns", "4", "-duration", "600ms", "-rows-per-req", "4",
+		"-flightrec-snap", filepath.Join(t.TempDir(), "flightrec.json"),
 	}, &out)
 	if err != nil {
 		t.Fatalf("chaoscheck: %v\n%s", err, out.String())

@@ -59,6 +59,13 @@ type site struct {
 	stats Stats
 }
 
+// Hook observes injections as they fire: kind is "slow", "err", or
+// "panic". Hooks run on the injecting goroutine, after the draw but before
+// the fault takes effect (so a panic injection is observable even though
+// Fire never returns from it) — keep them fast and non-blocking. The
+// serving stack wires this to the flight recorder.
+type Hook func(site, kind string)
+
 // Injector holds the armed sites. The zero of *Injector (nil) is the
 // production no-op; construct one with New only for chaos runs.
 type Injector struct {
@@ -67,6 +74,7 @@ type Injector struct {
 
 	mu    sync.Mutex
 	sites map[string]*site
+	hook  Hook
 }
 
 // New returns an injector with no sites armed. seed scopes every
@@ -122,6 +130,16 @@ func (f *Injector) Clear() {
 	}
 }
 
+// SetHook installs (or, with nil, removes) the injection observer.
+func (f *Injector) SetHook(h Hook) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.hook = h
+	f.mu.Unlock()
+}
+
 // Fire runs the site's armed faults: maybe sleep, maybe return an error,
 // maybe panic (in that order). Unarmed sites and nil injectors cost one
 // branch and consume no randomness.
@@ -131,6 +149,7 @@ func (f *Injector) Fire(name string) error {
 	}
 	f.mu.Lock()
 	s := f.sites[name]
+	hook := f.hook
 	f.mu.Unlock()
 	if s == nil {
 		return nil
@@ -155,6 +174,17 @@ func (f *Injector) Fire(name string) error {
 		s.stats.Panics++
 	}
 	s.mu.Unlock()
+	if hook != nil {
+		if slow {
+			hook(name, "slow")
+		}
+		if fail {
+			hook(name, "err")
+		}
+		if pan {
+			hook(name, "panic")
+		}
+	}
 	if slow {
 		f.sleep(spec.SlowFor)
 	}

@@ -65,7 +65,7 @@ func (h *FixedHistogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	i := searchBound(h.bounds, v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -122,7 +122,19 @@ func (h *FixedHistogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	counts := h.BucketCounts()
+	return bucketQuantile(h.bounds, h.BucketCounts(), q)
+}
+
+// searchBound returns the bucket index for value v against ascending
+// bounds: the first bound >= v, or len(bounds) for the +Inf bucket.
+func searchBound(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
+// bucketQuantile is the shared fixed-bucket quantile estimator used by
+// FixedHistogram and the rolling RED windows: counts holds per-bound
+// counts plus the trailing +Inf bucket.
+func bucketQuantile(bounds []float64, counts []uint64, q float64) float64 {
 	var total uint64
 	for _, c := range counts {
 		total += c
@@ -141,25 +153,25 @@ func (h *FixedHistogram) Quantile(q float64) float64 {
 	for i, c := range counts {
 		next := cum + float64(c)
 		if target <= next && c > 0 {
-			if i == len(h.bounds) {
+			if i == len(bounds) {
 				// Overflow bucket: no finite upper bound to interpolate to.
-				if len(h.bounds) == 0 {
+				if len(bounds) == 0 {
 					return 0
 				}
-				return h.bounds[len(h.bounds)-1]
+				return bounds[len(bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			return lo + (h.bounds[i]-lo)*(target-cum)/float64(c)
+			return lo + (bounds[i]-lo)*(target-cum)/float64(c)
 		}
 		cum = next
 	}
-	if len(h.bounds) == 0 {
+	if len(bounds) == 0 {
 		return 0
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // quantilesFixed returns estimates for several q values.

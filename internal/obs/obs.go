@@ -42,6 +42,14 @@ const (
 	MetricServeDegraded           = "netdrift_serve_degraded_total"            // counter: passthrough (degraded: true) responses
 	MetricServePanics             = "netdrift_serve_recovered_panics_total"    // counter{site="executor"|"handler"}
 	MetricServeBreakerTransitions = "netdrift_serve_breaker_transitions_total" // counter{breaker=..., to="closed"|"open"|"half-open"}
+	// internal/obs tracing + flight recorder + SLO layer
+	MetricSpanDrops       = "obs_span_drops_total"               // counter: spans lost to sink marshal/write failures
+	MetricFlightEvents    = "netdrift_flightrec_events_total"    // counter: events recorded into the flight ring
+	MetricFlightSnapshots = "netdrift_flightrec_snapshots_total" // counter{reason=...}: automatic snapshot files written
+	MetricSLOBurnRate     = "netdrift_slo_burn_rate"             // gauge{endpoint=..., window=...}
+	MetricSLOErrFraction  = "netdrift_slo_error_fraction"        // gauge{endpoint=..., window=...}
+	MetricSLOReqRate      = "netdrift_slo_request_rate"          // gauge{endpoint=..., window=...}: requests/s over the window
+	MetricSLOLatency      = "netdrift_slo_latency_seconds"       // gauge{endpoint=..., window=..., quantile=...}
 )
 
 // TrainEpoch reports one completed reconstructor training epoch.
@@ -87,13 +95,14 @@ type SearchHook interface {
 	Verdict(FeatureVerdict)
 }
 
-// Observer bundles the three observability channels: a metrics registry,
-// a span sink, and optional typed hooks. Any field may be nil; a nil
-// *Observer disables everything. Pass one Observer through the pipeline
-// configs to light up instrumentation end to end.
+// Observer bundles the observability channels: a metrics registry, a span
+// sink, a flight recorder, and optional typed hooks. Any field may be nil;
+// a nil *Observer disables everything. Pass one Observer through the
+// pipeline configs to light up instrumentation end to end.
 type Observer struct {
 	Registry *Registry
 	Spans    Sink
+	Flight   *FlightRecorder
 	Train    TrainHook
 	Search   SearchHook
 }
@@ -144,7 +153,45 @@ func (o *Observer) StartSpan(name string) *Span {
 	if o == nil {
 		return nil
 	}
-	return startSpan(o.Spans, 0, name)
+	return startSpan(o.Spans, 0, "", name)
+}
+
+// StartTrace opens a root span bound to a trace ID — the entry point for
+// request-scoped tracing. An empty trace mints a fresh ID; an inbound ID
+// (e.g. from an X-Request-ID header) is carried verbatim so a caller's
+// correlation key survives end to end. Returns nil when tracing is
+// disabled, in which case nothing (including the mint) allocates.
+func (o *Observer) StartTrace(name, trace string) *Span {
+	if o == nil || o.Spans == nil {
+		return nil
+	}
+	if trace == "" {
+		trace = MintTraceID()
+	}
+	return startSpan(o.Spans, 0, trace, name)
+}
+
+// FlightRecord appends one event to the flight recorder, if one is
+// installed. Nil-safe and non-blocking.
+func (o *Observer) FlightRecord(kind, name, trace, detail string) {
+	if o == nil {
+		return
+	}
+	o.Flight.Record(kind, name, trace, detail)
+}
+
+// FlightSnapshot writes an automatic flight-recorder snapshot for reason,
+// if a recorder with a snapshot path is installed. Returns the file
+// written, or "".
+func (o *Observer) FlightSnapshot(reason string) string {
+	if o == nil {
+		return ""
+	}
+	path := o.Flight.AutoSnapshot(reason)
+	if path != "" && o.Registry != nil {
+		o.Registry.Counter(MetricFlightSnapshots, "reason", reason).Inc()
+	}
+	return path
 }
 
 // noop is the shared disabled-path closure returned by Time.

@@ -8,14 +8,106 @@ import (
 	"time"
 )
 
+// Attr is one key/value span annotation.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// AttrList is an ordered attribute set. Small sets (≤ inlineAttrs) live in
+// an array inlined in the Span, so annotating a span on the serve hot path
+// does not allocate a map; the list marshals to the same JSON object shape
+// the old map produced, in insertion order.
+type AttrList []Attr
+
+// Get returns the value for key, or "" when absent.
+func (a AttrList) Get(key string) string {
+	for _, kv := range a {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the list as a JSON object in insertion order.
+func (a AttrList) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 16+len(a)*24)
+	buf = append(buf, '{')
+	for i, kv := range a {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, err := json.Marshal(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON accepts the object shape MarshalJSON produces. Key order
+// within the object is preserved only as far as encoding/json reports it
+// (token order), which matches the emitted order.
+func (a *AttrList) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(newByteReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return &json.UnmarshalTypeError{Value: "non-object", Type: nil}
+	}
+	out := (*a)[:0]
+	for dec.More() {
+		kt, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		var v string
+		if err := dec.Decode(&v); err != nil {
+			return err
+		}
+		out = append(out, Attr{Key: kt.(string), Value: v})
+	}
+	*a = out
+	return nil
+}
+
+// newByteReader avoids bytes.NewReader's interface indirection cost in the
+// tiny UnmarshalJSON path (and keeps this file's imports minimal).
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
 // SpanData is the immutable record a finished span emits to its Sink.
 type SpanData struct {
-	ID       uint64            `json:"id"`
-	ParentID uint64            `json:"parent,omitempty"`
-	Name     string            `json:"name"`
-	Start    time.Time         `json:"start"`
-	Duration time.Duration     `json:"durationNs"`
-	Attrs    map[string]string `json:"attrs,omitempty"`
+	Trace    string        `json:"trace,omitempty"`
+	ID       uint64        `json:"id"`
+	ParentID uint64        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	Attrs    AttrList      `json:"attrs,omitempty"`
 }
 
 // Sink receives finished spans. Implementations must be safe for
@@ -26,23 +118,58 @@ type Sink interface {
 	Emit(SpanData)
 }
 
+// Fanout combines sinks into one; nil entries are dropped. It returns nil
+// when nothing remains (tracing stays disabled) and the sink itself when
+// only one remains (no indirection on the single-sink path).
+func Fanout(sinks ...Sink) Sink {
+	var live fanoutSink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+type fanoutSink []Sink
+
+func (f fanoutSink) Emit(sp SpanData) {
+	for _, s := range f {
+		s.Emit(sp)
+	}
+}
+
 // spanIDs is the process-wide span ID source.
 var spanIDs atomic.Uint64
 
+// inlineAttrs is the attr count a span stores without allocating beyond
+// the span itself; rarer, larger sets spill into a slice.
+const inlineAttrs = 8
+
 // Span is one timed phase of the pipeline. Spans form a hierarchy via
-// Child. All methods are nil-safe.
+// Child and share one trace ID per root request. All methods are nil-safe.
 type Span struct {
 	sink   Sink
 	id     uint64
 	parent uint64
+	trace  string
 	name   string
 	start  time.Time
 	mu     sync.Mutex
-	attrs  map[string]string
+	inline [inlineAttrs]Attr
+	nAttrs int
+	spill  []Attr
 	done   bool
 }
 
-func startSpan(sink Sink, parent uint64, name string) *Span {
+func startSpan(sink Sink, parent uint64, trace, name string) *Span {
 	if sink == nil {
 		return nil
 	}
@@ -50,29 +177,72 @@ func startSpan(sink Sink, parent uint64, name string) *Span {
 		sink:   sink,
 		id:     spanIDs.Add(1),
 		parent: parent,
+		trace:  trace,
 		name:   name,
 		start:  time.Now(),
 	}
 }
 
-// Child starts a sub-span sharing this span's sink.
+// Child starts a sub-span sharing this span's sink and trace ID.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return startSpan(s.sink, s.id, name)
+	return startSpan(s.sink, s.id, s.trace, name)
 }
 
-// SetAttr attaches a key/value annotation to the span.
+// ID returns the span's process-unique ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Trace returns the span's trace ID ("" for a nil span).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// Start returns when the span began (zero for a nil span).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// SetAttr attaches a key/value annotation to the span, overwriting any
+// previous value for the same key. The first inlineAttrs distinct keys are
+// stored inline in the span, so hot-path annotation allocates nothing.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	if s.attrs == nil {
-		s.attrs = make(map[string]string)
+	for i := 0; i < s.nAttrs; i++ {
+		if s.inline[i].Key == key {
+			s.inline[i].Value = value
+			s.mu.Unlock()
+			return
+		}
 	}
-	s.attrs[key] = value
+	for i := range s.spill {
+		if s.spill[i].Key == key {
+			s.spill[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	if s.nAttrs < inlineAttrs {
+		s.inline[s.nAttrs] = Attr{Key: key, Value: value}
+		s.nAttrs++
+	} else {
+		s.spill = append(s.spill, Attr{Key: key, Value: value})
+	}
 	s.mu.Unlock()
 }
 
@@ -88,9 +258,15 @@ func (s *Span) End() {
 		return
 	}
 	s.done = true
-	attrs := s.attrs
+	var attrs AttrList
+	if len(s.spill) > 0 {
+		attrs = append(append(AttrList{}, s.inline[:s.nAttrs]...), s.spill...)
+	} else if s.nAttrs > 0 {
+		attrs = AttrList(s.inline[:s.nAttrs:s.nAttrs])
+	}
 	s.mu.Unlock()
 	s.sink.Emit(SpanData{
+		Trace:    s.trace,
 		ID:       s.id,
 		ParentID: s.parent,
 		Name:     s.name,
@@ -101,10 +277,15 @@ func (s *Span) End() {
 }
 
 // JSONLinesSink writes one JSON object per finished span, suitable for
-// appending to a trace log file.
+// appending to a trace log file. Spans that fail to marshal or write are
+// dropped, but never silently: the drop count is observable via Drops and
+// can be mirrored into a registry counter (MetricSpanDrops) with
+// CountDrops.
 type JSONLinesSink struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	dropped atomic.Uint64
+	counter *Counter // optional registry mirror; may be nil
 }
 
 // NewJSONLinesSink wraps w; writes are serialized internally.
@@ -112,15 +293,36 @@ func NewJSONLinesSink(w io.Writer) *JSONLinesSink {
 	return &JSONLinesSink{w: w}
 }
 
+// CountDrops mirrors every dropped span into c (typically the registry's
+// MetricSpanDrops counter, so /metrics exposes the loss).
+func (s *JSONLinesSink) CountDrops(c *Counter) {
+	s.mu.Lock()
+	s.counter = c
+	s.mu.Unlock()
+}
+
+// Drops returns the number of spans lost to marshal or write failures.
+func (s *JSONLinesSink) Drops() uint64 { return s.dropped.Load() }
+
+func (s *JSONLinesSink) drop() {
+	s.dropped.Add(1)
+	s.counter.Inc()
+}
+
 // Emit implements Sink.
 func (s *JSONLinesSink) Emit(sp SpanData) {
 	line, err := json.Marshal(sp)
 	if err != nil {
+		s.mu.Lock()
+		s.drop()
+		s.mu.Unlock()
 		return
 	}
 	line = append(line, '\n')
 	s.mu.Lock()
-	_, _ = s.w.Write(line)
+	if _, err := s.w.Write(line); err != nil {
+		s.drop()
+	}
 	s.mu.Unlock()
 }
 

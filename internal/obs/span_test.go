@@ -31,7 +31,7 @@ func TestSpanHierarchyMemorySink(t *testing.T) {
 	if fs.ParentID != rt.ID {
 		t.Errorf("child parent = %d, want root id %d", fs.ParentID, rt.ID)
 	}
-	if fs.Attrs["features"] != "32" {
+	if fs.Attrs.Get("features") != "32" {
 		t.Errorf("attrs = %v", fs.Attrs)
 	}
 	if fs.Duration <= 0 {

@@ -80,13 +80,15 @@ func NewBreaker(name string, cfg BreakerConfig, o *obs.Observer) *Breaker {
 	}
 }
 
-// transition must be called with mu held.
+// transition must be called with mu held. Both the counter and the flight
+// event are lock-free, so recording under mu is safe.
 func (b *Breaker) transition(to string) {
 	if b.state == to {
 		return
 	}
 	b.state = to
 	b.o.Counter(obs.MetricServeBreakerTransitions, "breaker", b.name, "to", to).Inc()
+	b.o.FlightRecord(obs.FlightKindBreaker, b.name, "", to)
 }
 
 // Allow reports whether the protected operation may run now. While open
@@ -138,14 +140,15 @@ func (b *Breaker) Fail() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
 		b.fails++
 		if b.fails < b.cfg.FailThreshold {
+			b.mu.Unlock()
 			return
 		}
 	case BreakerOpen:
+		b.mu.Unlock()
 		return // already open; late failures from in-flight work are moot
 	}
 	// Trip: exponential backoff with multiplicative jitter in [0.5, 1.5).
@@ -158,6 +161,10 @@ func (b *Breaker) Fail() {
 	b.openUntil = b.now().Add(backoff)
 	b.fails, b.probing = 0, false
 	b.transition(BreakerOpen)
+	b.mu.Unlock()
+	// A breaker opening is an incident: dump the flight ring (file write,
+	// so outside mu) to preserve the failure sequence that tripped it.
+	b.o.FlightSnapshot("breaker-open-" + b.name)
 }
 
 // BreakerStatus is the health-endpoint snapshot of one breaker.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,13 +98,19 @@ type Result struct {
 
 // request is one submitted unit riding through the coalescer. done is
 // buffered so the executor never blocks handing back a result, even if the
-// submitter already gave up on its context.
+// submitter already gave up on its context. span carries the submitter's
+// request span (nil when tracing is disabled) across the coalescer
+// boundary so the batch executor can annotate it with queue wait and
+// batch membership — the link that keeps a request's identity visible
+// after it dissolves into a micro-batch.
 type request struct {
-	ctx     context.Context
-	rows    [][]float64
-	seeds   []int64
-	predict bool
-	done    chan reqOutcome
+	ctx      context.Context
+	rows     [][]float64
+	seeds    []int64
+	predict  bool
+	span     *obs.Span
+	enqueued time.Time
+	done     chan reqOutcome
 }
 
 type reqOutcome struct {
@@ -194,6 +202,14 @@ func (c *Coalescer) options() Options { return c.opts }
 // batched or split. When the queued backlog exceeds MaxQueue rows the
 // request is shed immediately with ErrOverloaded.
 func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, predict bool) (Result, error) {
+	return c.SubmitTraced(ctx, rows, seed, predict, nil)
+}
+
+// SubmitTraced is Submit carrying the caller's request span (nil when
+// tracing is disabled) through the coalescer, so the batch executor can
+// annotate it with queue wait, batch size, and the batch span that served
+// it. The span is not ended here — the caller owns its lifecycle.
+func (c *Coalescer) SubmitTraced(ctx context.Context, rows [][]float64, seed int64, predict bool, span *obs.Span) (Result, error) {
 	if len(rows) == 0 {
 		return Result{}, fmt.Errorf("serve: empty request")
 	}
@@ -216,6 +232,8 @@ func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, pr
 		c.queuedRows.Add(-n)
 		c.submitters.Done()
 		c.shed.Inc()
+		c.opts.Obs.FlightRecord(obs.FlightKindShed, "coalescer", span.Trace(),
+			"queue full")
 		return Result{}, ErrOverloaded
 	}
 
@@ -224,11 +242,13 @@ func (c *Coalescer) Submit(ctx context.Context, rows [][]float64, seed int64, pr
 		seeds[i] = core.SampleSeed(seed, i)
 	}
 	req := &request{
-		ctx:     ctx,
-		rows:    rows,
-		seeds:   seeds,
-		predict: predict,
-		done:    make(chan reqOutcome, 1),
+		ctx:      ctx,
+		rows:     rows,
+		seeds:    seeds,
+		predict:  predict,
+		span:     span,
+		enqueued: time.Now(),
+		done:     make(chan reqOutcome, 1),
 	}
 	enqueued := false
 	select {
@@ -399,11 +419,27 @@ func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpS
 	if len(live) == 0 {
 		return
 	}
+	// The tracing link across the coalescer boundary: one batch span per
+	// executed group, carrying every member request's trace ID, while each
+	// request span learns how long it queued and which batch served it.
+	// With tracing disabled every span here is nil and this costs a few
+	// predictable branches, no allocation.
+	batchSpan := c.startBatchSpan(live)
 	if !c.execBreaker.Allow() {
+		batchSpan.SetAttr("outcome", "degraded")
+		batchSpan.SetAttr("reason", "breaker-open")
+		batchSpan.End()
 		c.degrade(live, bundle.ID)
 		return
 	}
 	outRows, outPreds, err := c.execute(bundle, live, adaptScr, mlpScr, m)
+	if err == nil {
+		batchSpan.SetAttr("outcome", "ok")
+	} else {
+		batchSpan.SetAttr("outcome", "error")
+		batchSpan.SetAttr("error", err.Error())
+	}
+	batchSpan.End()
 	switch {
 	case err == nil:
 		c.execBreaker.Success()
@@ -438,6 +474,54 @@ func (c *Coalescer) runGroup(group []*request, adaptScr *core.AdaptScratch, mlpS
 	}
 }
 
+// startBatchSpan opens the executor-side span for one picked-up group and
+// stitches the cross-boundary links: the batch span is a child of the
+// first traced member (inheriting its trace ID) and carries every member's
+// trace and span ID as attrs; each member span learns its queue wait, the
+// total batch row count, and the batch span that served it. Returns nil —
+// and does no work at all — when no member is traced.
+func (c *Coalescer) startBatchSpan(live []*request) *obs.Span {
+	var first *obs.Span
+	for _, req := range live {
+		if req.span != nil {
+			first = req.span
+			break
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	sp := first.Child("serve.batch")
+	var rows int
+	for _, req := range live {
+		rows += len(req.rows)
+	}
+	var traces, members strings.Builder
+	n := 0
+	batchID := strconv.FormatUint(sp.ID(), 10)
+	batchRows := strconv.Itoa(rows)
+	for _, req := range live {
+		if req.span == nil {
+			continue
+		}
+		if n > 0 {
+			traces.WriteByte(',')
+			members.WriteByte(',')
+		}
+		traces.WriteString(req.span.Trace())
+		members.WriteString(strconv.FormatUint(req.span.ID(), 10))
+		n++
+		req.span.SetAttr("queue_wait_us", strconv.FormatInt(time.Since(req.enqueued).Microseconds(), 10))
+		req.span.SetAttr("batch_span", batchID)
+		req.span.SetAttr("batch_rows", batchRows)
+	}
+	sp.SetAttr("requests", strconv.Itoa(len(live)))
+	sp.SetAttr("rows", batchRows)
+	sp.SetAttr("request_ids", traces.String())
+	sp.SetAttr("member_spans", members.String())
+	return sp
+}
+
 // errGroupCanceled aborts a batch whose submitters have all given up.
 var errGroupCanceled = errors.New("serve: every request in batch canceled")
 
@@ -453,6 +537,11 @@ func (c *Coalescer) execute(bundle *Bundle, live []*request, adaptScr *core.Adap
 			c.panics.Inc()
 			outRows, outPreds = nil, nil
 			err = fmt.Errorf("%w: %v", ErrExecPanic, rec)
+			// Black-box the incident: the ring captures the panic in its
+			// timeline, and an armed recorder dumps itself to disk so the
+			// lead-up survives even if the process dies next.
+			c.opts.Obs.FlightRecord(obs.FlightKindPanic, "executor", "", err.Error())
+			c.opts.Obs.FlightSnapshot("executor-panic")
 		}
 	}()
 	if err := c.opts.Faults.Fire(FaultSiteExec); err != nil {
@@ -528,6 +617,7 @@ func (c *Coalescer) degrade(live []*request, bundleID string) {
 			rows[i] = append([]float64(nil), r...)
 		}
 		c.degraded.Inc()
+		c.opts.Obs.FlightRecord(obs.FlightKindDegrade, "coalescer", req.span.Trace(), bundleID)
 		req.done <- reqOutcome{res: Result{BundleID: bundleID, Rows: rows, Degraded: true}}
 	}
 }

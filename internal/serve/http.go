@@ -37,6 +37,12 @@ type AdaptResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 }
 
+// Endpoint names used as SLO tracker keys.
+const (
+	EndpointAdapt  = "/v1/adapt"
+	EndpointHealth = "/healthz"
+)
+
 // Server wires the coalescer, registry, and observer into an http.Handler.
 // Every request runs inside panic-recovery middleware: a handler panic
 // (chaos-injected or real) is converted into a 500 without taking the
@@ -46,17 +52,45 @@ type Server struct {
 	co  *Coalescer
 	o   *obs.Observer
 	mux *http.ServeMux
+
+	slo         *obs.SLOSet
+	burnWindows []time.Duration
 }
 
 // NewServer builds the serving handler tree. o may be nil (metrics off,
-// /metrics then reports an empty registry).
+// /metrics then reports an empty registry). The SLO layer starts with the
+// default objective (250ms latency, 99.9% availability) over the default
+// burn windows; ConfigureSLO overrides both before serving.
 func NewServer(reg *Registry, co *Coalescer, o *obs.Observer) *Server {
 	s := &Server{reg: reg, co: co, o: o, mux: http.NewServeMux()}
+	s.ConfigureSLO(obs.SLO{})
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /debug/flightrec", s.handleFlightRec)
 	return s
 }
+
+// ConfigureSLO replaces the SLO objective and burn-rate windows (defaults
+// when none given). Call before serving starts; the tracker ring is sized
+// to cover the longest window.
+func (s *Server) ConfigureSLO(slo obs.SLO, burnWindows ...time.Duration) {
+	if len(burnWindows) == 0 {
+		burnWindows = obs.DefaultBurnWindows
+	}
+	longest := burnWindows[0]
+	for _, w := range burnWindows {
+		if w > longest {
+			longest = w
+		}
+	}
+	s.slo = obs.NewSLOSet(slo, longest, 0, nil)
+	s.burnWindows = burnWindows
+}
+
+// SLOSet exposes the rolling RED trackers (for chaos wiring and tests).
+func (s *Server) SLOSet() *obs.SLOSet { return s.slo }
 
 // ServeHTTP implements http.Handler with panic recovery around the whole
 // handler tree.
@@ -64,6 +98,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.o.Counter(obs.MetricServePanics, "site", "handler").Inc()
+			s.o.FlightRecord(obs.FlightKindPanic, "handler", traceFromRequest(r), fmt.Sprintf("%v", rec))
 			// If the handler already started the response this write is a
 			// no-op; the client sees a truncated body, never a torn one.
 			httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
@@ -95,10 +130,24 @@ func (s *Server) validateRows(rows [][]float64) error {
 
 func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// Request span: adopt the caller's trace ID (X-Request-ID or
+	// traceparent) or mint one, and echo it so the caller can correlate.
+	// With spans disabled sp is nil and every span call below is a no-op —
+	// the zero-allocation path guarded by TestAdaptDisabledTracingAllocs.
+	sp := s.o.StartTrace("http.adapt", traceFromRequest(r))
+	if t := sp.Trace(); t != "" {
+		w.Header().Set(TraceHeader, t)
+	}
 	reqLatency := s.o.FixedHistogram(obs.MetricServeReqLatency, obs.LatencyBuckets)
 	outcome := func(kind string) {
 		s.o.Counter(obs.MetricServeRequests, "outcome", kind).Inc()
-		reqLatency.Observe(time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		reqLatency.Observe(secs)
+		// SLO accounting: shed, timeout, and server errors burn the error
+		// budget; degraded passthrough and client cancels do not.
+		s.slo.Observe(EndpointAdapt, secs, kind == "error" || kind == "timeout" || kind == "shed")
+		sp.SetAttr("outcome", kind)
+		sp.End()
 	}
 	var req AdaptRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -131,7 +180,7 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
-	res, err := s.co.Submit(ctx, req.Rows, req.Seed, req.Predict)
+	res, err := s.co.SubmitTraced(ctx, req.Rows, req.Seed, req.Predict, sp)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrOverloaded):
@@ -228,19 +277,79 @@ func (s *Server) Health() HealthReport {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
 	h := s.Health()
 	w.Header().Set("Content-Type", "application/json")
 	if h.Status == HealthDown {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(h)
+	s.slo.Observe(EndpointHealth, time.Since(start).Seconds(), h.Status == HealthDown)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if s.o != nil && s.o.Registry != nil {
+		// Refresh the SLO gauges before exposition so burn rates on
+		// /metrics reflect this instant's rolling windows.
+		s.slo.Export(s.o.Registry, s.burnWindows...)
 		s.o.Registry.WritePrometheus(w)
 	}
+}
+
+// SLOStatus is the /v1/status view of the rolling SLO layer.
+type SLOStatus struct {
+	Objective obs.SLO                   `json:"objective"`
+	Windows   []string                  `json:"windows"`
+	Endpoints map[string][]obs.REDStats `json:"endpoints"`
+}
+
+// FlightStatus summarizes the flight recorder on /v1/status; the full ring
+// is at /debug/flightrec.
+type FlightStatus struct {
+	Enabled  bool   `json:"enabled"`
+	LastSeq  uint64 `json:"last_seq,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
+}
+
+// StatusReport is the /v1/status body: health, SLO burn rates per endpoint
+// and fault site, and flight-recorder occupancy in one operator view.
+type StatusReport struct {
+	Health HealthReport `json:"health"`
+	SLO    SLOStatus    `json:"slo"`
+	Flight FlightStatus `json:"flight_recorder"`
+}
+
+// Status assembles the /v1/status report.
+func (s *Server) Status() StatusReport {
+	rep := StatusReport{Health: s.Health()}
+	rep.SLO.Objective = s.slo.Objective()
+	for _, wd := range s.burnWindows {
+		rep.SLO.Windows = append(rep.SLO.Windows, wd.String())
+	}
+	rep.SLO.Endpoints = s.slo.Report(s.burnWindows...)
+	if s.o != nil && s.o.Flight != nil {
+		rep.Flight.Enabled = true
+		rep.Flight.LastSeq = s.o.Flight.LastSeq()
+		rep.Flight.Capacity = s.o.Flight.Capacity()
+	}
+	return rep
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Status())
+}
+
+func (s *Server) handleFlightRec(w http.ResponseWriter, _ *http.Request) {
+	if s.o == nil || s.o.Flight == nil {
+		httpError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.o.Flight.WriteSnapshot(w, "debug")
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

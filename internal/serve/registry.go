@@ -80,6 +80,11 @@ func (r *Registry) Current() *Bundle { return r.current.Load() }
 func (r *Registry) Swap(b *Bundle) *Bundle {
 	old := r.current.Swap(b)
 	r.obs.Counter(obs.MetricServeSwaps).Inc()
+	id := ""
+	if b != nil {
+		id = b.ID
+	}
+	r.obs.FlightRecord(obs.FlightKindSwap, "registry", "", id)
 	return old
 }
 

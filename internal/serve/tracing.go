@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	"netdrift/internal/fault"
+	"netdrift/internal/obs"
+)
+
+// TraceHeader is the request/response header carrying the trace ID. An
+// inbound value is adopted verbatim as the request's trace ID; otherwise
+// one is minted and echoed back, so every response is correlatable.
+const TraceHeader = "X-Request-Id"
+
+// traceparentHeader is the W3C trace-context header; its trace-id field is
+// accepted as a fallback when TraceHeader is absent.
+const traceparentHeader = "Traceparent"
+
+// traceFromRequest extracts the caller's trace ID: X-Request-ID first,
+// then the trace-id field of a traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<flags>"). Returns "" when the
+// request carries neither — the zero-allocation path.
+func traceFromRequest(r *http.Request) string {
+	if id := r.Header.Get(TraceHeader); id != "" {
+		return id
+	}
+	tp := r.Header.Get(traceparentHeader)
+	if tp == "" {
+		return ""
+	}
+	// version-traceid-parentid-flags; tolerate unknown versions.
+	parts := strings.SplitN(tp, "-", 4)
+	if len(parts) >= 2 && len(parts[1]) == 32 {
+		return parts[1]
+	}
+	return ""
+}
+
+// WireChaos connects a fault injector to the observability layer: every
+// injection lands in the flight recorder (kind "fault", name = site,
+// detail = slow|err|panic) and counts against the per-site rolling RED
+// tracker ("fault:<site>"; slow injections are not errors). Call once
+// after building the stack; a nil injector is a no-op.
+func WireChaos(inj *fault.Injector, o *obs.Observer, slo *obs.SLOSet) {
+	if inj == nil {
+		return
+	}
+	inj.SetHook(func(site, kind string) {
+		o.FlightRecord(obs.FlightKindFault, site, "", kind)
+		slo.Observe("fault:"+site, 0, kind != "slow")
+	})
+}

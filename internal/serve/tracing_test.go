@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"netdrift/internal/obs"
+)
+
+// tracedServer builds a fixture-backed server with tracing and the flight
+// recorder enabled, returning the memory sink and recorder for assertions.
+func tracedServer(t *testing.T) (*httptest.Server, *Coalescer, *obs.MemorySink, *obs.FlightRecorder) {
+	t.Helper()
+	a, _, _ := fixtures(t)
+	o := obs.New()
+	o.Flight = obs.NewFlightRecorder(256)
+	sink := obs.NewMemorySink()
+	o.Spans = o.Flight.SpanSink(sink)
+	reg := NewRegistry(o)
+	reg.Swap(a)
+	co := NewCoalescer(reg, Options{MaxBatch: 16, Workers: 1, Obs: o})
+	ts := httptest.NewServer(NewServer(reg, co, o))
+	t.Cleanup(func() { ts.Close(); co.Close() })
+	return ts, co, sink, o.Flight
+}
+
+// TestTraceEndToEnd is the tentpole acceptance check: one inbound trace ID
+// must be observable on the response header, the handler span, the batch
+// span's member list, the cross-links between the two, and the flight
+// recorder — the full handler → coalescer → executor journey.
+func TestTraceEndToEnd(t *testing.T) {
+	_, _, rows := fixtures(t)
+	ts, _, sink, flight := tracedServer(t)
+
+	const traceID = "e2e-trace-0001"
+	body, _ := json.Marshal(AdaptRequest{Rows: rows[:4]})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/adapt", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceHeader, traceID)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("adapt status %d", res.StatusCode)
+	}
+	if got := res.Header.Get(TraceHeader); got != traceID {
+		t.Errorf("response %s = %q, want the inbound trace ID echoed", TraceHeader, got)
+	}
+
+	var handler, batch obs.SpanData
+	var haveHandler, haveBatch bool
+	for _, sp := range sink.Spans() {
+		switch {
+		case sp.Name == "http.adapt" && sp.Trace == traceID:
+			handler, haveHandler = sp, true
+		case sp.Name == "serve.batch" && sp.Trace == traceID:
+			batch, haveBatch = sp, true
+		}
+	}
+	if !haveHandler {
+		t.Fatalf("no http.adapt span with trace %q; spans: %v", traceID, sink.Spans())
+	}
+	if !haveBatch {
+		t.Fatalf("no serve.batch span with trace %q; spans: %v", traceID, sink.Spans())
+	}
+	if got := handler.Attrs.Get("outcome"); got != "ok" {
+		t.Errorf("handler span outcome = %q, want ok", got)
+	}
+	if handler.Attrs.Get("queue_wait_us") == "" {
+		t.Error("handler span missing queue_wait_us attr")
+	}
+	// Cross-links: the member span names its batch, the batch names its
+	// members.
+	if !strings.Contains(batch.Attrs.Get("request_ids"), traceID) {
+		t.Errorf("batch span request_ids = %q, does not carry member trace %q",
+			batch.Attrs.Get("request_ids"), traceID)
+	}
+	if got := batch.Attrs.Get("outcome"); got != "ok" {
+		t.Errorf("batch span outcome = %q, want ok", got)
+	}
+	if handler.Attrs.Get("batch_span") == "" {
+		t.Error("handler span missing batch_span attr")
+	}
+
+	// The flight ring saw the same trace.
+	var flightSawTrace bool
+	for _, ev := range flight.Snapshot() {
+		if ev.Kind == obs.FlightKindSpan && ev.Trace == traceID {
+			flightSawTrace = true
+			break
+		}
+	}
+	if !flightSawTrace {
+		t.Errorf("flight recorder has no span event with trace %q", traceID)
+	}
+}
+
+// TestTraceMintedWhenAbsent checks that a header-less request gets a fresh
+// 16-hex trace ID minted and echoed.
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	_, _, rows := fixtures(t)
+	ts, _, _, _ := tracedServer(t)
+
+	body, _ := json.Marshal(AdaptRequest{Rows: rows[:2]})
+	res, err := http.Post(ts.URL+"/v1/adapt", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	got := res.Header.Get(TraceHeader)
+	if len(got) != 16 {
+		t.Fatalf("minted trace %q, want 16 hex chars", got)
+	}
+	for _, c := range got {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("minted trace %q contains non-hex %q", got, c)
+		}
+	}
+}
+
+func TestTraceFromRequestTraceparent(t *testing.T) {
+	mk := func(h, v string) *http.Request {
+		r := httptest.NewRequest("POST", "/v1/adapt", nil)
+		if h != "" {
+			r.Header.Set(h, v)
+		}
+		return r
+	}
+	w3cID := strings.Repeat("ab", 16)
+	cases := []struct {
+		name string
+		req  *http.Request
+		want string
+	}{
+		{"none", mk("", ""), ""},
+		{"x-request-id", mk(TraceHeader, "req-7"), "req-7"},
+		{"traceparent", mk("Traceparent", "00-"+w3cID+"-00f067aa0ba902b7-01"), w3cID},
+		{"traceparent-malformed", mk("Traceparent", "garbage"), ""},
+		{"traceparent-short-id", mk("Traceparent", "00-abcd-00f067aa0ba902b7-01"), ""},
+	}
+	for _, tc := range cases {
+		if got := traceFromRequest(tc.req); got != tc.want {
+			t.Errorf("%s: traceFromRequest = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestStatusAndFlightRecEndpoints covers the two new operator endpoints:
+// /v1/status (health + SLO + recorder occupancy) and /debug/flightrec (the
+// ring dump).
+func TestStatusAndFlightRecEndpoints(t *testing.T) {
+	_, _, rows := fixtures(t)
+	ts, _, _, _ := tracedServer(t)
+
+	// Generate one request so the SLO layer has something to report.
+	body, _ := json.Marshal(AdaptRequest{Rows: rows[:2]})
+	res, err := http.Post(ts.URL+"/v1/adapt", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+
+	sres, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sres.Body.Close()
+	if sres.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/status status %d", sres.StatusCode)
+	}
+	var status StatusReport
+	if err := json.NewDecoder(sres.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Health.Status != HealthOK {
+		t.Errorf("status health = %q, want %q", status.Health.Status, HealthOK)
+	}
+	if status.SLO.Objective.Availability != 0.999 || status.SLO.Objective.LatencyObjective != 0.25 {
+		t.Errorf("status SLO objective = %+v, want defaults", status.SLO.Objective)
+	}
+	adapt := status.SLO.Endpoints[EndpointAdapt]
+	if len(adapt) != len(status.SLO.Windows) || len(adapt) == 0 {
+		t.Fatalf("status has %d %s windows, want %d", len(adapt), EndpointAdapt, len(status.SLO.Windows))
+	}
+	if adapt[0].Requests == 0 {
+		t.Error("status shows zero adapt requests after a served request")
+	}
+	if !status.Flight.Enabled || status.Flight.LastSeq == 0 {
+		t.Errorf("status flight recorder = %+v, want enabled with events", status.Flight)
+	}
+
+	fres, err := http.Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fres.Body.Close()
+	if fres.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flightrec status %d", fres.StatusCode)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.NewDecoder(fres.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Reason != "debug" || len(snap.Events) == 0 {
+		t.Errorf("flightrec dump reason=%q events=%d, want debug dump with events", snap.Reason, len(snap.Events))
+	}
+}
+
+// TestFlightRecDisabled404 checks the no-recorder path.
+func TestFlightRecDisabled404(t *testing.T) {
+	a, _, _ := fixtures(t)
+	o := obs.New() // no Flight
+	reg := NewRegistry(o)
+	reg.Swap(a)
+	co := NewCoalescer(reg, Options{MaxBatch: 16, Workers: 1, Obs: o})
+	defer co.Close()
+	ts := httptest.NewServer(NewServer(reg, co, o))
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/debug/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/flightrec without recorder: status %d, want 404", res.StatusCode)
+	}
+}
+
+// TestTracingDisabledZeroAlloc is the nil-sink fast-path gate: with no
+// span sink and no flight recorder, the tracing hooks on the request path
+// (header extraction, span start/attr/end, flight record) must allocate
+// nothing at all.
+func TestTracingDisabledZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	o := obs.New() // Spans == nil, Flight == nil: tracing disabled
+	req := httptest.NewRequest("POST", "/v1/adapt", nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := o.StartTrace("http.adapt", traceFromRequest(req))
+		sp.SetAttr("outcome", "ok")
+		sp.SetAttr("queue_wait_us", "12")
+		sp.End()
+		o.FlightRecord(obs.FlightKindShed, "coalescer", sp.Trace(), "queue full")
+	})
+	if allocs != 0 {
+		t.Errorf("tracing-disabled path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// nullSink measures span overhead without sink-side work.
+type nullSink struct{}
+
+func (nullSink) Emit(obs.SpanData) {}
+
+// TestTracingEnabledAllocBudget pins the enabled-path cost: one span with
+// an inline (≤8) attr set must stay within a fixed small budget — the span
+// allocation itself and nothing per-attr.
+func TestTracingEnabledAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	o := obs.New()
+	o.Spans = nullSink{}
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := o.StartTrace("http.adapt", "fixed-trace")
+		sp.SetAttr("outcome", "ok")
+		sp.SetAttr("queue_wait_us", "12")
+		sp.SetAttr("batch_span", "1")
+		sp.SetAttr("batch_rows", "8")
+		sp.End()
+	})
+	const budget = 2 // the Span itself (+1 slack for runtime variance)
+	if allocs > budget {
+		t.Errorf("tracing-enabled path allocates %.1f/op, budget %d", allocs, budget)
+	}
+}
