@@ -74,11 +74,14 @@ func runChaosCheck(out io.Writer, cfg config) error {
 	}
 
 	// Fixed request shapes with goldens computed directly against the
-	// bundle (no coalescer), the same reference the serve tests use.
+	// bundle (no coalescer), the same reference the serve tests use. Each
+	// shape carries both wire encodings so the storm (and the audit) covers
+	// the JSON and binary codecs alike.
 	type shape struct {
-		raw    [][]float64
-		golden [][]float64
-		body   []byte
+		raw     [][]float64
+		golden  [][]float64
+		body    []byte
+		binBody []byte
 	}
 	nShapes := 4
 	if len(rows) < nShapes*cfg.RowsPerReq {
@@ -104,7 +107,10 @@ func runChaosCheck(out io.Writer, cfg config) error {
 		if err != nil {
 			return err
 		}
-		shapes = append(shapes, shape{raw: raw, golden: golden, body: body})
+		shapes = append(shapes, shape{
+			raw: raw, golden: golden, body: body,
+			binBody: serve.AppendRowsRequest(nil, raw, 0, false),
+		})
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -146,16 +152,20 @@ func runChaosCheck(out io.Writer, cfg config) error {
 			client := &http.Client{}
 			for i := 0; time.Now().Before(deadline); i++ {
 				sh := shapes[(c+i)%len(shapes)]
+				// Alternate codecs per request so the storm interleaves
+				// JSON and binary traffic through the same coalescer.
+				binary := (c+i)%2 == 1
+				body, contentType := sh.body, "application/json"
+				if binary {
+					body, contentType = sh.binBody, serve.ContentTypeRows
+				}
 				reqs.Add(1)
-				res, err := client.Post(url, "application/json", bytes.NewReader(sh.body))
+				res, err := client.Post(url, contentType, bytes.NewReader(body))
 				if err != nil {
 					errs.Add(1)
 					continue
 				}
-				var ar serve.AdaptResponse
-				decErr := json.NewDecoder(res.Body).Decode(&ar)
-				io.Copy(io.Discard, res.Body)
-				res.Body.Close()
+				ar, decErr := decodeAdaptResponse(res, binary)
 				switch res.StatusCode {
 				case http.StatusOK:
 					switch {
@@ -191,21 +201,43 @@ func runChaosCheck(out io.Writer, cfg config) error {
 	wg.Wait()
 
 	// --- Recovery. ---
+	// Both codecs must return to bit-identical golden output: the JSON
+	// probe and the binary probe each gate the verdict, so a regression
+	// that only breaks one wire format cannot slip through.
 	inj.Clear()
 	recoverStart := time.Now()
 	recoverDeadline := recoverStart.Add(10 * time.Second)
 	recovered := time.Duration(-1)
+	probe := func(binary bool) (bool, bool) { // (golden, torn)
+		body, contentType := shapes[0].body, "application/json"
+		if binary {
+			body, contentType = shapes[0].binBody, serve.ContentTypeRows
+		}
+		res, err := http.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return false, false
+		}
+		ar, decErr := decodeAdaptResponse(res, binary)
+		if decErr != nil || res.StatusCode != http.StatusOK || ar.Degraded {
+			return false, false
+		}
+		// A healthy 200 that is not bit-identical golden is a torn response.
+		golden := sameRows(ar.Rows, shapes[0].golden)
+		return golden, !golden
+	}
 	for time.Now().Before(recoverDeadline) {
-		res, err := http.Post(url, "application/json", bytes.NewReader(shapes[0].body))
-		if err == nil {
-			var ar serve.AdaptResponse
-			decErr := json.NewDecoder(res.Body).Decode(&ar)
-			res.Body.Close()
-			if decErr == nil && res.StatusCode == http.StatusOK && !ar.Degraded {
-				if !sameRows(ar.Rows, shapes[0].golden) {
-					torn.Add(1)
-					break
-				}
+		jsonGolden, jsonTorn := probe(false)
+		if jsonTorn {
+			torn.Add(1)
+			break
+		}
+		if jsonGolden {
+			binGolden, binTorn := probe(true)
+			if binTorn {
+				torn.Add(1)
+				break
+			}
+			if binGolden {
 				recovered = time.Since(recoverStart)
 				break
 			}

@@ -57,6 +57,11 @@ func runLoadgen(out io.Writer, cfg config) error {
 	go func() { _ = srv.Serve(ln) }()
 	url := "http://" + ln.Addr().String() + "/v1/adapt"
 
+	binaryCodec := cfg.Codec == codecBinary
+	contentType := "application/json"
+	if binaryCodec {
+		contentType = serve.ContentTypeRows
+	}
 	latency := obs.NewFixedHistogram(obs.LatencyBuckets)
 	// Client-side rolling RED tracker: the caller's view of the SLO, fed
 	// the same objective the server burns against. One window wide enough
@@ -79,18 +84,20 @@ func runLoadgen(out io.Writer, cfg config) error {
 					batch = append(batch, rows[pos])
 					pos = (pos + 1) % len(rows)
 				}
-				body, _ := json.Marshal(serve.AdaptRequest{Rows: batch})
+				var body []byte
+				if binaryCodec {
+					body = serve.AppendRowsRequest(nil, batch, 0, false)
+				} else {
+					body, _ = json.Marshal(serve.AdaptRequest{Rows: batch})
+				}
 				start := time.Now()
-				res, err := client.Post(url, "application/json", bytes.NewReader(body))
+				res, err := client.Post(url, contentType, bytes.NewReader(body))
 				if err != nil {
 					failures.Add(1)
 					red.Observe(serve.EndpointAdapt, time.Since(start).Seconds(), true)
 					continue
 				}
-				var ar serve.AdaptResponse
-				decErr := json.NewDecoder(res.Body).Decode(&ar)
-				io.Copy(io.Discard, res.Body)
-				res.Body.Close()
+				ar, decErr := decodeAdaptResponse(res, binaryCodec)
 				secs := time.Since(start).Seconds()
 				latency.Observe(secs)
 				isErr := false
@@ -115,15 +122,22 @@ func runLoadgen(out io.Writer, cfg config) error {
 		}(c)
 	}
 	wg.Wait()
+
+	// The codec comparison stage runs against the still-live server so both
+	// codecs ride the full HTTP + coalescer path the clients just used.
+	stBin, codecErr := codecStage(url, rows, cfg.RowsPerReq)
 	srv.Close()
 	co.Close()
+	if codecErr != nil {
+		return fmt.Errorf("serve_binary stage: %w", codecErr)
+	}
 
 	secs := cfg.Duration.Seconds()
 	reqRate := float64(requests.Load()) / secs
 	rowRate := float64(servedRows.Load()) / secs
 	total := requests.Load() + degraded.Load() + shed.Load() + timeouts.Load() + failures.Load()
-	fmt.Fprintf(out, "loadgen: bundle %q, %d conns, %s, %d rows/req (max-batch %d, workers %d, max-queue %d)\n",
-		bundle.ID, cfg.Conns, cfg.Duration, cfg.RowsPerReq, cfg.MaxBatch, cfg.Workers, cfg.MaxQueue)
+	fmt.Fprintf(out, "loadgen: bundle %q, %d conns, %s, %d rows/req, codec %s (max-batch %d, workers %d, max-queue %d)\n",
+		bundle.ID, cfg.Conns, cfg.Duration, cfg.RowsPerReq, cfg.Codec, cfg.MaxBatch, cfg.Workers, cfg.MaxQueue)
 	fmt.Fprintf(out, "  %d requests ok, %d failed  |  %.0f req/s, %.0f rows/s\n",
 		requests.Load(), failures.Load(), reqRate, rowRate)
 	fmt.Fprintf(out, "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
@@ -158,13 +172,158 @@ func runLoadgen(out io.Writer, cfg config) error {
 	st.BurnRate = stats.BurnRate
 	fmt.Fprintf(out, "serve stage: seq(batch=1) %.3fs  batched(%d) %.3fs  speedup %.2fx  allocs %d/%d  bit-identical %v\n",
 		st.SeqSeconds, cfg.MaxBatch, st.ParSeconds, st.Speedup, st.SeqAllocs, st.ParAllocs, st.BitIdentical)
+	fmt.Fprintf(out, "serve_binary stage: json %.3fs  binary %.3fs  speedup %.2fx  p99 %.2fms  bit-identical %v\n",
+		stBin.SeqSeconds, stBin.ParSeconds, stBin.Speedup, stBin.P99Seconds*1e3, stBin.BitIdentical)
 	if cfg.BenchOut != "" {
 		if err := appendServeStage(cfg.BenchOut, st); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "serve stage appended to %s\n", cfg.BenchOut)
+		if err := appendServeStage(cfg.BenchOut, stBin); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serve + serve_binary stages appended to %s\n", cfg.BenchOut)
 	}
 	return nil
+}
+
+// decodeAdaptResponse reads one /v1/adapt response in either codec into
+// the common AdaptResponse shape.
+func decodeAdaptResponse(res *http.Response, binary bool) (serve.AdaptResponse, error) {
+	defer func() {
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+	}()
+	// Error responses are JSON in both codecs; only parse binary on a
+	// binary-typed 200.
+	if binary && res.StatusCode == http.StatusOK {
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			return serve.AdaptResponse{}, err
+		}
+		return serve.DecodeRowsResponse(body)
+	}
+	var ar serve.AdaptResponse
+	err := json.NewDecoder(res.Body).Decode(&ar)
+	return ar, err
+}
+
+// codecStage benchmarks the JSON wire codec against the binary one over
+// the live server: a fixed request count per codec through one client
+// (closed loop), client-side encode/decode allocations included — the
+// end-to-end cost a caller actually pays per codec. seq_* fields carry
+// the JSON pass, par_* the binary pass, so the stage reads exactly like
+// the other speedup stages in BENCH_parallel.json. BitIdentical is a
+// one-shot cross-codec comparison of the same request (rows and
+// predictions, bit for bit).
+func codecStage(url string, rows [][]float64, rowsPerReq int) (serveStageReport, error) {
+	st := serveStageReport{Name: "serve_binary"}
+	const reqCount = 192
+	batches := make([][][]float64, 0, reqCount)
+	pos := 0
+	for len(batches) < reqCount {
+		batch := make([][]float64, 0, rowsPerReq)
+		for len(batch) < rowsPerReq {
+			batch = append(batch, rows[pos])
+			pos = (pos + 1) % len(rows)
+		}
+		batches = append(batches, batch)
+	}
+
+	client := &http.Client{}
+	hist := obs.NewFixedHistogram(obs.LatencyBuckets)
+	run := func(binary bool, hist *obs.FixedHistogram) (float64, uint64, uint64, error) {
+		contentType := "application/json"
+		if binary {
+			contentType = serve.ContentTypeRows
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for _, batch := range batches {
+			var body []byte
+			if binary {
+				body = serve.AppendRowsRequest(nil, batch, 0, false)
+			} else {
+				body, _ = json.Marshal(serve.AdaptRequest{Rows: batch})
+			}
+			reqStart := time.Now()
+			res, err := client.Post(url, contentType, bytes.NewReader(body))
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			ar, decErr := decodeAdaptResponse(res, binary)
+			hist.Observe(time.Since(reqStart).Seconds())
+			if decErr != nil {
+				return 0, 0, 0, decErr
+			}
+			if res.StatusCode != http.StatusOK {
+				return 0, 0, 0, fmt.Errorf("status %d", res.StatusCode)
+			}
+			if len(ar.Rows) != len(batch) {
+				return 0, 0, 0, fmt.Errorf("%d rows back, sent %d", len(ar.Rows), len(batch))
+			}
+		}
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		return secs, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+	}
+
+	var err error
+	if st.SeqSeconds, st.SeqAllocs, st.SeqBytes, err = run(false, obs.NewFixedHistogram(obs.LatencyBuckets)); err != nil {
+		return st, fmt.Errorf("json pass: %w", err)
+	}
+	if st.ParSeconds, st.ParAllocs, st.ParBytes, err = run(true, hist); err != nil {
+		return st, fmt.Errorf("binary pass: %w", err)
+	}
+	if st.ParSeconds > 0 {
+		st.Speedup = st.SeqSeconds / st.ParSeconds
+	}
+	st.P50Seconds = hist.Quantile(0.5)
+	st.P95Seconds = hist.Quantile(0.95)
+	st.P99Seconds = hist.Quantile(0.99)
+
+	// Cross-codec bit-identity: the same request (rows, seed, predict)
+	// through both codecs must adapt and predict identically.
+	probe := batches[0]
+	jsonBody, _ := json.Marshal(serve.AdaptRequest{Rows: probe, Seed: 7, Predict: true})
+	jres, err := client.Post(url, "application/json", bytes.NewReader(jsonBody))
+	if err != nil {
+		return st, err
+	}
+	jar, err := decodeAdaptResponse(jres, false)
+	if err != nil {
+		return st, err
+	}
+	bres, err := client.Post(url, serve.ContentTypeRows,
+		bytes.NewReader(serve.AppendRowsRequest(nil, probe, 7, true)))
+	if err != nil {
+		return st, err
+	}
+	bar, err := decodeAdaptResponse(bres, true)
+	if err != nil {
+		return st, err
+	}
+	st.BitIdentical = jar.BundleID == bar.BundleID &&
+		identicalRows(jar.Rows, bar.Rows) && identicalRows(jar.Predictions, bar.Predictions)
+	return st, nil
+}
+
+// identicalRows compares two matrices for exact float equality.
+func identicalRows(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // serveStage mirrors driftbench's benchStage schema for the serving layer.
@@ -278,9 +437,9 @@ func serveStage(bundle *serve.Bundle, rows [][]float64, maxBatch int) (serveStag
 	return st, nil
 }
 
-// appendServeStage adds (or replaces) the "serve" stage in the driftbench
-// report, decoding loosely so every other field the benchmark wrote is
-// preserved byte-for-byte in value terms.
+// appendServeStage adds (or replaces, matching by name) a serving stage in
+// the driftbench report, decoding loosely so every other field the
+// benchmark wrote is preserved byte-for-byte in value terms.
 func appendServeStage(path string, st serveStageReport) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -294,7 +453,7 @@ func appendServeStage(path string, st serveStageReport) error {
 	stages, _ := rep["stages"].([]any)
 	replaced := false
 	for i, s := range stages {
-		if m, ok := s.(map[string]any); ok && m["name"] == "serve" {
+		if m, ok := s.(map[string]any); ok && m["name"] == st.Name {
 			stages[i] = stage
 			replaced = true
 			break

@@ -49,6 +49,12 @@ func main() {
 	}
 }
 
+// Wire codec names accepted by -codec (and used as loadgen stage labels).
+const (
+	codecJSON   = "json"
+	codecBinary = "binary"
+)
+
 type config struct {
 	Bundle   string
 	Addr     string
@@ -78,11 +84,14 @@ type config struct {
 	Seed      int64
 	Shots     int
 	ID        string
+	Format    string
+	Convert   string
 
 	Conns      int
 	Duration   time.Duration
 	RowsPerReq int
 	BenchOut   string
+	Codec      string
 }
 
 // breakerConfig maps the CLI knobs onto a serve.BreakerConfig.
@@ -135,6 +144,8 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base RNG seed for -mkbundle/-loadgen")
 		shots    = fs.Int("shots", 10, "few-shot target samples per class for -mkbundle")
 		id       = fs.String("id", "", "bundle id (-mkbundle; default derived from dataset/scale/seed)")
+		format   = fs.String("format", "json", "bundle encoding for -mkbundle/-convert: json|binary (loads always sniff)")
+		convert  = fs.String("convert", "", "re-encode the bundle at this path into -bundle using -format, then exit")
 
 		proberow = fs.Bool("proberow", false, "print one dataset test row as a JSON array (for hand-crafting /v1/adapt requests) and exit")
 
@@ -143,7 +154,8 @@ func run(args []string, out io.Writer) error {
 		conns      = fs.Int("conns", 4, "concurrent closed-loop clients for -loadgen/-chaoscheck")
 		duration   = fs.Duration("duration", 5*time.Second, "load generation duration")
 		rowsPerReq = fs.Int("rows-per-req", 8, "rows per request for -loadgen")
-		benchOut   = fs.String("bench-out", "", "append the serve micro-batching stage to this BENCH_parallel.json (empty = skip)")
+		benchOut   = fs.String("bench-out", "", "append the serve micro-batching + codec stages to this BENCH_parallel.json (empty = skip)")
+		codec      = fs.String("codec", "json", "wire codec the -loadgen clients speak: json|binary")
 
 		obsdump = fs.String("obsdump", "", "pretty-print a flight-recorder snapshot file and exit")
 
@@ -176,11 +188,21 @@ func run(args []string, out io.Writer) error {
 		TracePath: *trace, FlightCap: *flightCap, FlightSnap: *flightSnap,
 		SLOLatency: *sloLatency, SLOAvailability: *sloAvail,
 		Dataset: *ds, ScaleName: *scale, Scale: sc, Seed: *seed, Shots: *shots, ID: *id,
+		Format: *format, Convert: *convert,
 		Conns: *conns, Duration: *duration, RowsPerReq: *rowsPerReq, BenchOut: *benchOut,
+		Codec: *codec,
+	}
+	if cfg.Format != string(serve.FormatJSON) && cfg.Format != string(serve.FormatBinary) {
+		return fmt.Errorf("unknown -format %q (want json or binary)", cfg.Format)
+	}
+	if cfg.Codec != codecJSON && cfg.Codec != codecBinary {
+		return fmt.Errorf("unknown -codec %q (want json or binary)", cfg.Codec)
 	}
 	switch {
 	case *obsdump != "":
 		return runObsDump(out, *obsdump)
+	case *convert != "":
+		return runConvert(out, cfg)
 	case *mkbundle:
 		return runMkBundle(out, cfg)
 	case *proberow:
@@ -254,12 +276,27 @@ func runMkBundle(out io.Writer, cfg config) error {
 	if bundleID == "" {
 		bundleID = fmt.Sprintf("%s-%s-seed%d", cfg.Dataset, cfg.ScaleName, cfg.Seed)
 	}
-	if err := serve.WriteBundleFile(cfg.Bundle, bundleID, ad, clf); err != nil {
+	if err := serve.WriteBundleFileFormat(cfg.Bundle, bundleID, ad, clf, serve.BundleFormat(cfg.Format)); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "bundle %q written to %s (%d variant / %d invariant features, fit in %s)\n",
-		bundleID, cfg.Bundle, len(ad.VariantFeatures()), len(ad.InvariantFeatures()),
+	fmt.Fprintf(out, "bundle %q written to %s (format %s, %d variant / %d invariant features, fit in %s)\n",
+		bundleID, cfg.Bundle, cfg.Format, len(ad.VariantFeatures()), len(ad.InvariantFeatures()),
 		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runConvert re-encodes an existing bundle (either format, sniffed on
+// load) into -bundle using -format. Conversion is lossless: both codecs
+// serialize the same blob, so a JSON→binary→JSON round trip is identical.
+func runConvert(out io.Writer, cfg config) error {
+	src, err := serve.LoadBundleFile(cfg.Convert)
+	if err != nil {
+		return fmt.Errorf("-convert %s: %w", cfg.Convert, err)
+	}
+	if err := serve.WriteBundleFileFormat(cfg.Bundle, src.ID, src.Adapter, src.Classifier, serve.BundleFormat(cfg.Format)); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bundle %q converted: %s -> %s (format %s)\n", src.ID, cfg.Convert, cfg.Bundle, cfg.Format)
 	return nil
 }
 

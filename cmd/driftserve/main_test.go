@@ -100,6 +100,145 @@ func TestMkBundleAndLoadgen(t *testing.T) {
 	}
 }
 
+// TestMkBundleBinaryAndConvert covers the binary artifact path end to end:
+// write a binary bundle, convert it to JSON and back, and check that the
+// sniffing loader serves all three files identically via the loadgen's
+// bit-identity audit.
+func TestMkBundleBinaryAndConvert(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "bundle.ndbf")
+	jsonPath := filepath.Join(dir, "bundle.json")
+	backPath := filepath.Join(dir, "bundle2.ndbf")
+
+	var out strings.Builder
+	err := run([]string{
+		"-mkbundle", "-format", "binary", "-bundle", binPath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3", "-shots", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("mkbundle -format binary: %v\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 4 || string(blob[:4]) != "NDBF" {
+		t.Fatalf("binary bundle missing NDBF magic: % x", blob[:min(8, len(blob))])
+	}
+
+	out.Reset()
+	if err := run([]string{"-convert", binPath, "-format", "json", "-bundle", jsonPath}, &out); err != nil {
+		t.Fatalf("convert binary->json: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "converted") {
+		t.Errorf("convert output missing confirmation:\n%s", out.String())
+	}
+	jsonBlob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jsonBlob) == 0 || jsonBlob[0] != '{' {
+		t.Fatalf("converted JSON bundle does not look like JSON: % x", jsonBlob[:min(8, len(jsonBlob))])
+	}
+
+	out.Reset()
+	if err := run([]string{"-convert", jsonPath, "-format", "binary", "-bundle", backPath}, &out); err != nil {
+		t.Fatalf("convert json->binary: %v\n%s", err, out.String())
+	}
+	back, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSON round trip is lossless, so converting back reproduces the
+	// original binary artifact byte for byte.
+	if string(back) != string(blob) {
+		t.Error("binary -> json -> binary did not round-trip byte-identically")
+	}
+
+	// The sniffing loader must serve the binary artifact: the loadgen's
+	// verdict line asserts bit-identical output against the golden path.
+	for _, bundle := range []string{binPath, jsonPath} {
+		out.Reset()
+		err = run([]string{
+			"-loadgen", "-bundle", bundle,
+			"-dataset", "5gc", "-scale", "quick", "-seed", "3",
+			"-conns", "1", "-duration", "200ms", "-rows-per-req", "4",
+		}, &out)
+		if err != nil {
+			t.Fatalf("loadgen on %s: %v\n%s", bundle, err, out.String())
+		}
+		if !strings.Contains(out.String(), "verdict: clean") {
+			t.Errorf("loadgen on %s not clean:\n%s", bundle, out.String())
+		}
+	}
+}
+
+// TestLoadgenBinaryCodec drives the load generator over the binary wire
+// codec and checks both the clean verdict and the serve_binary bench stage
+// (cross-codec bit-identity plus JSON-vs-binary latency comparison).
+func TestLoadgenBinaryCodec(t *testing.T) {
+	bundlePath := mkTestBundle(t)
+	benchPath := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(benchPath, []byte(`{"stages":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-loadgen", "-codec", "binary", "-bundle", bundlePath,
+		"-dataset", "5gc", "-scale", "quick", "-seed", "3",
+		"-conns", "2", "-duration", "300ms", "-rows-per-req", "4",
+		"-bench-out", benchPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen -codec binary: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "codec binary") {
+		t.Errorf("loadgen header missing codec binary:\n%s", text)
+	}
+	if !strings.Contains(text, "verdict: clean") {
+		t.Errorf("binary loadgen not clean:\n%s", text)
+	}
+	if !strings.Contains(text, "serve_binary stage:") {
+		t.Errorf("missing serve_binary summary line:\n%s", text)
+	}
+
+	blob, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	stages, _ := rep["stages"].([]any)
+	var binStage map[string]any
+	for _, s := range stages {
+		if m, ok := s.(map[string]any); ok && m["name"] == "serve_binary" {
+			binStage = m
+		}
+	}
+	if binStage == nil {
+		t.Fatalf("no serve_binary stage in bench report: %v", stages)
+	}
+	if binStage["bit_identical"] != true {
+		t.Errorf("serve_binary stage not bit-identical: %v", binStage)
+	}
+}
+
+func TestRunBadCodecFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mkbundle", "-format", "msgpack"}, &out); err == nil {
+		t.Error("expected unknown -format error")
+	}
+	if err := run([]string{"-loadgen", "-codec", "grpc"}, &out); err == nil {
+		t.Error("expected unknown -codec error")
+	}
+	if err := run([]string{"-convert", "/does/not/exist.ndbf", "-bundle", filepath.Join(t.TempDir(), "o.json")}, &out); err == nil {
+		t.Error("expected convert missing source error")
+	}
+}
+
 // mkTestBundle writes a quick-scale bundle for the resilience CLI tests.
 func mkTestBundle(t *testing.T) string {
 	t.Helper()

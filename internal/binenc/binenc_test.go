@@ -1,0 +1,150 @@
+package binenc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	floats := []float64{0, 1, -1, math.Pi, math.SmallestNonzeroFloat64, math.MaxFloat64, math.Copysign(0, -1)}
+	ints := []int{0, 1, -1, 1 << 20, -(1 << 20)}
+	var dst []byte
+	dst = AppendU8(dst, 0xAB)
+	dst = AppendU16(dst, 0xBEEF)
+	dst = AppendU32(dst, 0xDEADBEEF)
+	dst = AppendU64(dst, 0x0123456789ABCDEF)
+	dst = AppendI64(dst, -42)
+	dst = AppendBool(dst, true)
+	dst = AppendBool(dst, false)
+	dst = AppendF64s(dst, floats)
+	dst = AppendI32s(dst, ints)
+	dst = AppendString(dst, "bundle-id")
+
+	r := NewReader(dst)
+	if v := r.U8(); v != 0xAB {
+		t.Errorf("U8 = %x", v)
+	}
+	if v := r.U16(); v != 0xBEEF {
+		t.Errorf("U16 = %x", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Errorf("U32 = %x", v)
+	}
+	if v := r.U64(); v != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Errorf("I64 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	got := r.F64s()
+	if len(got) != len(floats) {
+		t.Fatalf("F64s len %d, want %d", len(got), len(floats))
+	}
+	for i := range floats {
+		if math.Float64bits(got[i]) != math.Float64bits(floats[i]) {
+			t.Errorf("F64s[%d] = %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(floats[i]))
+		}
+	}
+	gotInts := r.I32s()
+	for i := range ints {
+		if gotInts[i] != ints[i] {
+			t.Errorf("I32s[%d] = %d, want %d", i, gotInts[i], ints[i])
+		}
+	}
+	if s := r.String(); s != "bundle-id" {
+		t.Errorf("String = %q", s)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining %d bytes", r.Remaining())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	full := AppendF64s(nil, []float64{1, 2, 3})
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.F64s()
+		if r.Err() == nil {
+			t.Errorf("truncated at %d bytes: no error", cut)
+		}
+		if !errors.Is(r.Err(), ErrTruncated) && !errors.Is(r.Err(), ErrOverflow) {
+			t.Errorf("truncated at %d: error %v, want typed", cut, r.Err())
+		}
+	}
+}
+
+func TestOverflowingCountRejected(t *testing.T) {
+	// A count prefix claiming 2^31 floats backed by 8 bytes must fail with
+	// ErrOverflow before any allocation of that size is attempted.
+	data := AppendU32(nil, 1<<31)
+	data = append(data, make([]byte, 8)...)
+	r := NewReader(data)
+	if vs := r.F64s(); vs != nil {
+		t.Errorf("overflowing count returned %d values", len(vs))
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Errorf("err = %v, want ErrOverflow", r.Err())
+	}
+	// Same for strings.
+	data = AppendU16(nil, 500)
+	r = NewReader(append(data, "short"...))
+	if s := r.String(); s != "" {
+		t.Errorf("overflowing string = %q", s)
+	}
+	if !errors.Is(r.Err(), ErrOverflow) {
+		t.Errorf("string err = %v, want ErrOverflow", r.Err())
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32() // fails: truncated
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Every later read is a zero-value no-op preserving the first error.
+	if v := r.U8(); v != 0 {
+		t.Errorf("read after error = %d", v)
+	}
+	if r.Err() != first {
+		t.Errorf("error replaced: %v -> %v", first, r.Err())
+	}
+}
+
+func TestFiniteF64s(t *testing.T) {
+	r := NewReader(AppendF64s(nil, []float64{1, math.NaN()}))
+	if vs := r.FiniteF64s(); vs != nil {
+		t.Errorf("non-finite payload returned %v", vs)
+	}
+	if !errors.Is(r.Err(), ErrNonFinite) {
+		t.Errorf("err = %v, want ErrNonFinite", r.Err())
+	}
+	r = NewReader(AppendF64s(nil, []float64{1, math.Inf(-1)}))
+	r.FiniteF64s()
+	if !errors.Is(r.Err(), ErrNonFinite) {
+		t.Errorf("inf err = %v, want ErrNonFinite", r.Err())
+	}
+}
+
+func TestF64sIntoIsAllocationFree(t *testing.T) {
+	payload := AppendF64sRaw(nil, make([]float64, 64))
+	dst := make([]float64, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		r := Reader{data: payload}
+		r.F64sInto(dst)
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("F64sInto allocates %v per run, want 0", allocs)
+	}
+}

@@ -54,8 +54,19 @@ type ganBlob struct {
 // Save serializes a fitted adapter (FS mode, or FSRecon with a GAN/NoCond
 // reconstructor) as JSON.
 func (a *Adapter) Save(w io.Writer) error {
+	blob, err := a.saveBlob()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(blob)
+}
+
+// saveBlob assembles the persistence blob shared by the JSON and binary
+// codecs, so both formats serialize exactly the same state.
+func (a *Adapter) saveBlob() (*adapterBlob, error) {
 	if !a.fitted {
-		return ErrNotFitted
+		return nil, ErrNotFitted
 	}
 	mins, maxs := a.sep.scaler.Bounds()
 	blob := adapterBlob{
@@ -78,7 +89,7 @@ func (a *Adapter) Save(w io.Writer) error {
 		if a.recon != nil {
 			gan, ok := a.recon.(*CGAN)
 			if !ok {
-				return ErrUnsupportedPersist
+				return nil, ErrUnsupportedPersist
 			}
 			blob.GAN = &ganBlob{
 				Config:   gan.cfg,
@@ -89,8 +100,7 @@ func (a *Adapter) Save(w io.Writer) error {
 			}
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&blob)
+	return &blob, nil
 }
 
 // LoadAdapter restores an adapter saved with Save. The result supports
@@ -102,6 +112,13 @@ func LoadAdapter(r io.Reader) (*Adapter, error) {
 	if err := dec.Decode(&blob); err != nil {
 		return nil, fmt.Errorf("core: decode adapter: %w", err)
 	}
+	return adapterFromBlob(&blob)
+}
+
+// adapterFromBlob rebuilds an adapter from its persistence blob — the one
+// assembly path shared by the JSON and binary codecs, so a bundle loads to
+// bit-identical state regardless of which format carried it.
+func adapterFromBlob(blob *adapterBlob) (*Adapter, error) {
 	if blob.Version != persistVersion {
 		return nil, fmt.Errorf("core: unsupported adapter version %d", blob.Version)
 	}

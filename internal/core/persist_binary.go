@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"netdrift/internal/binenc"
+	"netdrift/internal/nn"
+)
+
+// Binary adapter persistence: the flat little-endian counterpart of the
+// JSON blob in persist.go. Both codecs serialize the identical blob and
+// rebuild through the same adapterFromBlob path, so loading a binary
+// artifact yields a bit-identical adapter — pinned by the cross-format
+// golden test in internal/serve.
+//
+// Layout (little-endian; slices are u32-count-prefixed, see binenc):
+//
+//	u16 version
+//	u8  mode, u8 recon
+//	f64 mins[], f64 maxs[]
+//	i32 variant[], i32 invariant[]
+//	FS config:  f64 alpha, f64 exonerationAlpha, u32 maxOrder,
+//	            u32 maxNeighbors, u8 marginalOnly
+//	u8 hasGAN; if set:
+//	  GAN config: u32 epochs, u32 batchSize, f64 lr, f64 decay,
+//	              u32 noiseDim, u32 hidden, u8 conditional,
+//	              f64 anchorWeight, i64 seed
+//	  u32 invDim, u32 varDim, f64 fixedZ[], snapshot (nn.AppendSnapshot)
+//
+// Scaler bounds, fixedZ, and every snapshot weight are finiteness-checked
+// on decode; dims are validated by the existing rebuild path.
+
+// AppendBinary appends the adapter's binary encoding to dst. Like Save it
+// requires a fitted adapter in ModeFS, or ModeFSRecon with a GAN-family
+// reconstructor.
+func (a *Adapter) AppendBinary(dst []byte) ([]byte, error) {
+	blob, err := a.saveBlob()
+	if err != nil {
+		return dst, err
+	}
+	dst = binenc.AppendU16(dst, uint16(blob.Version))
+	dst = binenc.AppendU8(dst, uint8(blob.Mode))
+	dst = binenc.AppendU8(dst, uint8(blob.Recon))
+	dst = binenc.AppendF64s(dst, blob.Mins)
+	dst = binenc.AppendF64s(dst, blob.Maxs)
+	dst = binenc.AppendI32s(dst, blob.Variant)
+	dst = binenc.AppendI32s(dst, blob.Invariant)
+	dst = binenc.AppendF64(dst, blob.FS.Alpha)
+	dst = binenc.AppendF64(dst, blob.FS.ExonerationAlpha)
+	dst = binenc.AppendU32(dst, uint32(blob.FS.MaxOrder))
+	dst = binenc.AppendU32(dst, uint32(blob.FS.MaxNeighbors))
+	dst = binenc.AppendBool(dst, blob.FS.MarginalOnly)
+	dst = binenc.AppendBool(dst, blob.GAN != nil)
+	if g := blob.GAN; g != nil {
+		dst = binenc.AppendU32(dst, uint32(g.Config.Epochs))
+		dst = binenc.AppendU32(dst, uint32(g.Config.BatchSize))
+		dst = binenc.AppendF64(dst, g.Config.LR)
+		dst = binenc.AppendF64(dst, g.Config.Decay)
+		dst = binenc.AppendU32(dst, uint32(g.Config.NoiseDim))
+		dst = binenc.AppendU32(dst, uint32(g.Config.Hidden))
+		dst = binenc.AppendBool(dst, g.Config.Conditional)
+		dst = binenc.AppendF64(dst, g.Config.AnchorWeight)
+		dst = binenc.AppendI64(dst, g.Config.Seed)
+		dst = binenc.AppendU32(dst, uint32(g.InvDim))
+		dst = binenc.AppendU32(dst, uint32(g.VarDim))
+		dst = binenc.AppendF64s(dst, g.FixedZ)
+		dst = nn.AppendSnapshot(dst, g.Snapshot)
+	}
+	return dst, nil
+}
+
+// LoadAdapterBinary decodes an adapter written by AppendBinary from r.
+// Malformed input (truncation, overflowing counts, non-finite weights)
+// fails with a typed error and never panics.
+func LoadAdapterBinary(r *binenc.Reader) (*Adapter, error) {
+	var blob adapterBlob
+	blob.Version = int(r.U16())
+	blob.Mode = Mode(r.U8())
+	blob.Recon = ReconKind(r.U8())
+	blob.Mins = r.FiniteF64s()
+	blob.Maxs = r.FiniteF64s()
+	blob.Variant = r.I32s()
+	blob.Invariant = r.I32s()
+	blob.FS.Alpha = r.F64()
+	blob.FS.ExonerationAlpha = r.F64()
+	blob.FS.MaxOrder = int(r.U32())
+	blob.FS.MaxNeighbors = int(r.U32())
+	blob.FS.MarginalOnly = r.Bool()
+	if r.Bool() && r.Err() == nil {
+		g := &ganBlob{}
+		g.Config.Epochs = int(r.U32())
+		g.Config.BatchSize = int(r.U32())
+		g.Config.LR = r.F64()
+		g.Config.Decay = r.F64()
+		g.Config.NoiseDim = int(r.U32())
+		g.Config.Hidden = int(r.U32())
+		g.Config.Conditional = r.Bool()
+		g.Config.AnchorWeight = r.F64()
+		g.Config.Seed = r.I64()
+		g.InvDim = int(r.U32())
+		g.VarDim = int(r.U32())
+		g.FixedZ = r.FiniteF64s()
+		snap, err := nn.ReadSnapshot(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode adapter: %w", err)
+		}
+		g.Snapshot = snap
+		if err := validateGANBlobDims(g); err != nil {
+			return nil, err
+		}
+		blob.GAN = g
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: decode adapter: %w", err)
+	}
+	return adapterFromBlob(&blob)
+}
+
+// maxPersistDim bounds every network dimension a binary blob may declare.
+// Real generators are orders of magnitude smaller; the cap exists so a
+// hostile header cannot demand a multi-gigabyte rebuild.
+const maxPersistDim = 1 << 20
+
+// validateGANBlobDims cross-checks the declared generator dims against the
+// decoded snapshot BEFORE any network of that shape is allocated: the
+// snapshot's weight slices are bounded by the payload that carried them,
+// so requiring each big weight matrix to match its dims means a rebuild
+// can never allocate more than the input itself paid for. The expected
+// shapes mirror rebuildGAN's architecture exactly (param order: trunk
+// Dense w/b, BatchNorm γ/β, Dense w/b, BatchNorm γ/β, then the output
+// Dense w/b) — the cross-format golden test breaks loudly if the two ever
+// drift apart.
+func validateGANBlobDims(g *ganBlob) error {
+	h := g.Config.Hidden
+	in := g.InvDim + g.Config.NoiseDim
+	switch {
+	case g.InvDim <= 0 || g.InvDim > maxPersistDim,
+		g.VarDim <= 0 || g.VarDim > maxPersistDim,
+		g.Config.NoiseDim <= 0 || g.Config.NoiseDim > maxPersistDim,
+		h <= 0 || h > maxPersistDim:
+		return fmt.Errorf("core: decode adapter: GAN dims %dx%d hidden=%d noise=%d out of range",
+			g.InvDim, g.VarDim, h, g.Config.NoiseDim)
+	}
+	p := g.Snapshot.Params
+	if len(p) != 10 ||
+		len(p[0]) != in*h || len(p[4]) != h*h || len(p[8]) != (h+in)*g.VarDim {
+		return fmt.Errorf("core: decode adapter: generator snapshot shape does not match declared dims")
+	}
+	return nil
+}

@@ -29,10 +29,20 @@ type mlpBlob struct {
 
 // Save serializes a fitted MLP classifier as JSON.
 func (m *MLPClassifier) Save(w io.Writer) error {
-	if m.net == nil {
-		return ErrNotFitted
+	blob, err := m.saveBlob()
+	if err != nil {
+		return err
 	}
-	blob := mlpBlob{
+	return json.NewEncoder(w).Encode(blob)
+}
+
+// saveBlob assembles the persistence blob shared by the JSON and binary
+// codecs, so both formats serialize exactly the same state.
+func (m *MLPClassifier) saveBlob() (*mlpBlob, error) {
+	if m.net == nil {
+		return nil, ErrNotFitted
+	}
+	return &mlpBlob{
 		Version:    mlpPersistVersion,
 		In:         m.in,
 		Hidden:     []int{128, 64}, // fixed by Fit
@@ -40,8 +50,7 @@ func (m *MLPClassifier) Save(w io.Writer) error {
 		Dropout:    0.1,
 		Seed:       m.opts.Seed,
 		Snapshot:   nn.TakeSnapshot(m.net),
-	}
-	return json.NewEncoder(w).Encode(&blob)
+	}, nil
 }
 
 // LoadMLPClassifier restores a classifier saved with Save. The result
@@ -52,6 +61,12 @@ func LoadMLPClassifier(r io.Reader) (*MLPClassifier, error) {
 	if err := json.NewDecoder(r).Decode(&blob); err != nil {
 		return nil, fmt.Errorf("models: decode classifier: %w", err)
 	}
+	return mlpFromBlob(&blob)
+}
+
+// mlpFromBlob rebuilds a classifier from its persistence blob — the one
+// assembly path shared by the JSON and binary codecs.
+func mlpFromBlob(blob *mlpBlob) (*MLPClassifier, error) {
 	if blob.Version != mlpPersistVersion {
 		return nil, fmt.Errorf("models: unsupported classifier version %d", blob.Version)
 	}

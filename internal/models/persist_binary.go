@@ -1,0 +1,97 @@
+package models
+
+import (
+	"fmt"
+
+	"netdrift/internal/binenc"
+	"netdrift/internal/nn"
+)
+
+// Binary classifier persistence: the flat little-endian counterpart of the
+// JSON blob in persist.go. Both codecs serialize the identical blob and
+// rebuild through the same mlpFromBlob path, so a bundle loads to
+// bit-identical state regardless of which format carried it.
+//
+// Layout (little-endian; slices are u32-count-prefixed, see binenc):
+//
+//	u16 version
+//	u32 in, i32 hidden[], u32 numClasses
+//	f64 dropout, i64 seed
+//	snapshot (nn.AppendSnapshot)
+
+// AppendBinary appends the classifier's binary encoding to dst. Like Save
+// it requires a fitted classifier.
+func (m *MLPClassifier) AppendBinary(dst []byte) ([]byte, error) {
+	blob, err := m.saveBlob()
+	if err != nil {
+		return dst, err
+	}
+	dst = binenc.AppendU16(dst, uint16(blob.Version))
+	dst = binenc.AppendU32(dst, uint32(blob.In))
+	dst = binenc.AppendI32s(dst, blob.Hidden)
+	dst = binenc.AppendU32(dst, uint32(blob.NumClasses))
+	dst = binenc.AppendF64(dst, blob.Dropout)
+	dst = binenc.AppendI64(dst, blob.Seed)
+	dst = nn.AppendSnapshot(dst, blob.Snapshot)
+	return dst, nil
+}
+
+// LoadMLPClassifierBinary decodes a classifier written by AppendBinary from
+// r. Malformed input (truncation, overflowing counts, non-finite weights)
+// fails with a typed error and never panics.
+func LoadMLPClassifierBinary(r *binenc.Reader) (*MLPClassifier, error) {
+	var blob mlpBlob
+	blob.Version = int(r.U16())
+	blob.In = int(r.U32())
+	blob.Hidden = r.I32s()
+	blob.NumClasses = int(r.U32())
+	blob.Dropout = r.F64()
+	blob.Seed = r.I64()
+	snap, err := nn.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("models: decode classifier: %w", err)
+	}
+	blob.Snapshot = snap
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("models: decode classifier: %w", err)
+	}
+	if err := validateMLPBlobDims(&blob); err != nil {
+		return nil, err
+	}
+	return mlpFromBlob(&blob)
+}
+
+// maxPersistDim bounds every network dimension a binary blob may declare,
+// mirroring the adapter-side cap in internal/core.
+const maxPersistDim = 1 << 20
+
+// validateMLPBlobDims cross-checks the declared architecture against the
+// decoded snapshot BEFORE any network of that shape is allocated: each
+// weight matrix must be backed by the payload that carried it, so a hostile
+// header cannot demand a rebuild larger than the input itself paid for. The
+// expected param order mirrors nn.NewMLP exactly — per hidden layer a Dense
+// w/b pair (ReLU and Dropout carry no params), then the output Dense w/b.
+func validateMLPBlobDims(blob *mlpBlob) error {
+	if blob.In <= 0 || blob.In > maxPersistDim ||
+		blob.NumClasses <= 0 || blob.NumClasses > maxPersistDim ||
+		len(blob.Hidden) > 64 {
+		return fmt.Errorf("models: decode classifier: dims in=%d classes=%d hidden=%d out of range",
+			blob.In, blob.NumClasses, len(blob.Hidden))
+	}
+	for _, h := range blob.Hidden {
+		if h <= 0 || h > maxPersistDim {
+			return fmt.Errorf("models: decode classifier: hidden width %d out of range", h)
+		}
+	}
+	widths := append(append([]int{blob.In}, blob.Hidden...), blob.NumClasses)
+	p := blob.Snapshot.Params
+	if len(p) != 2*(len(widths)-1) {
+		return fmt.Errorf("models: decode classifier: snapshot has %d params, want %d", len(p), 2*(len(widths)-1))
+	}
+	for i := 0; i+1 < len(widths); i++ {
+		if len(p[2*i]) != widths[i]*widths[i+1] || len(p[2*i+1]) != widths[i+1] {
+			return fmt.Errorf("models: decode classifier: snapshot shape does not match declared dims at layer %d", i)
+		}
+	}
+	return nil
+}

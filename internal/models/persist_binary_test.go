@@ -1,0 +1,90 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"netdrift/internal/binenc"
+)
+
+// TestMLPBinaryRoundTripMatchesJSON pins the cross-codec contract: a
+// classifier loaded from its binary encoding re-serializes to exactly the
+// same JSON as one loaded from its JSON encoding, and both predict
+// identically bit for bit.
+func TestMLPBinaryRoundTripMatchesJSON(t *testing.T) {
+	m, probe := fitToyMLP(t)
+
+	bin, err := m.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := LoadMLPClassifierBinary(binenc.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf bytes.Buffer
+	if err := m.Save(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := LoadMLPClassifier(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := fromBin.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromJSON.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("binary-loaded classifier re-saves to different JSON than JSON-loaded classifier")
+	}
+
+	want, err := m.PredictProba(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fromBin.PredictProba(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("binary-loaded prediction differs at [%d][%d]: %v vs %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+
+	unfit := NewMLPClassifier(Options{})
+	if _, err := unfit.AppendBinary(nil); err != ErrNotFitted {
+		t.Errorf("encoding unfitted classifier: err = %v, want ErrNotFitted", err)
+	}
+}
+
+// TestLoadMLPClassifierBinaryMalformed feeds truncations plus a forged dim
+// header; every case must fail with an error, never panic or misload.
+func TestLoadMLPClassifierBinaryMalformed(t *testing.T) {
+	m, _ := fitToyMLP(t)
+	bin, err := m.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 2, 4, 16, len(bin) / 2, len(bin) - 1} {
+		if _, err := LoadMLPClassifierBinary(binenc.NewReader(bin[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes loaded successfully", cut)
+		}
+	}
+	bad := append([]byte(nil), bin...)
+	bad[0] = 99 // version
+	if _, err := LoadMLPClassifierBinary(binenc.NewReader(bad)); err == nil {
+		t.Error("bad version loaded successfully")
+	}
+	bad = append([]byte(nil), bin...)
+	bad[2] = 200 // declared input width no longer matches the snapshot
+	if _, err := LoadMLPClassifierBinary(binenc.NewReader(bad)); err == nil {
+		t.Error("forged input width loaded successfully")
+	}
+}

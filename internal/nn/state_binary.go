@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"fmt"
+
+	"netdrift/internal/binenc"
+)
+
+// Binary snapshot codec: the flat little-endian counterpart of the JSON
+// Snapshot shape, used by the binary bundle format. Layout (all counts
+// u32-prefixed):
+//
+//	u32 numParams   { u32 len, len × f64 }  per parameter, in Params order
+//	u32 numExtra    { u32 numSlices { u32 len, len × f64 } }  per layer
+//
+// Weights must be finite: ReadSnapshot rejects NaN/Inf so a corrupt or
+// hostile artifact fails the load instead of poisoning inference.
+
+// AppendSnapshot appends snap's binary encoding to dst.
+func AppendSnapshot(dst []byte, snap *Snapshot) []byte {
+	dst = binenc.AppendU32(dst, uint32(len(snap.Params)))
+	for _, p := range snap.Params {
+		dst = binenc.AppendF64s(dst, p)
+	}
+	dst = binenc.AppendU32(dst, uint32(len(snap.Extra)))
+	for _, extra := range snap.Extra {
+		dst = binenc.AppendU32(dst, uint32(len(extra)))
+		for _, s := range extra {
+			dst = binenc.AppendF64s(dst, s)
+		}
+	}
+	return dst
+}
+
+// ReadSnapshot decodes a snapshot written by AppendSnapshot, validating
+// finiteness of every value. Errors are typed via the reader (truncation,
+// overflowing counts, non-finite payloads); it never panics.
+func ReadSnapshot(r *binenc.Reader) (*Snapshot, error) {
+	snap := &Snapshot{}
+	nParams := r.Count(4)
+	for i := 0; i < nParams && r.Err() == nil; i++ {
+		snap.Params = append(snap.Params, r.FiniteF64s())
+	}
+	nExtra := r.Count(4)
+	for i := 0; i < nExtra && r.Err() == nil; i++ {
+		nSlices := r.Count(4)
+		slices := make([][]float64, 0, nSlices)
+		for j := 0; j < nSlices && r.Err() == nil; j++ {
+			slices = append(slices, r.FiniteF64s())
+		}
+		snap.Extra = append(snap.Extra, slices)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	return snap, nil
+}

@@ -19,6 +19,11 @@ var LatencyBuckets = []float64{
 // distributions (powers of two up to a generous coalescing ceiling).
 var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// SizeBuckets are the default fixed boundaries for request/response body
+// size histograms: 64 B to 4 MiB in powers of four, spanning a one-row
+// JSON body through a large binary row batch.
+var SizeBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+
 // FixedHistogram is a fixed-boundary histogram: observations are counted
 // into buckets with explicit ascending upper bounds (plus an implicit
 // +Inf overflow bucket), the native Prometheus "histogram" shape. Unlike

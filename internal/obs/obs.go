@@ -42,6 +42,10 @@ const (
 	MetricServeDegraded           = "netdrift_serve_degraded_total"            // counter: passthrough (degraded: true) responses
 	MetricServePanics             = "netdrift_serve_recovered_panics_total"    // counter{site="executor"|"handler"}
 	MetricServeBreakerTransitions = "netdrift_serve_breaker_transitions_total" // counter{breaker=..., to="closed"|"open"|"half-open"}
+	// internal/serve wire codecs
+	MetricServeCodecRequests = "netdrift_serve_codec_requests_total" // counter{codec="json"|"binary"}
+	MetricServeRequestBytes  = "netdrift_serve_request_bytes"        // fixed histogram{codec=...}: /v1/adapt request body sizes
+	MetricServeResponseBytes = "netdrift_serve_response_bytes"       // fixed histogram{codec=...}: /v1/adapt response body sizes
 	// internal/obs tracing + flight recorder + SLO layer
 	MetricSpanDrops       = "obs_span_drops_total"               // counter: spans lost to sink marshal/write failures
 	MetricFlightEvents    = "netdrift_flightrec_events_total"    // counter: events recorded into the flight ring

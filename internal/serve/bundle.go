@@ -72,14 +72,20 @@ func ReadBundle(r io.Reader) (*Bundle, error) {
 	return b, nil
 }
 
-// LoadBundleFile reads a bundle from disk.
+// LoadBundleFile reads a bundle from disk, sniffing the format: files
+// starting with the NDBF magic decode through the binary fast path, any
+// other content falls through to the JSON envelope. Both formats rebuild
+// through the same blob-assembly code, so the loaded bundle is
+// bit-identical either way.
 func LoadBundleFile(path string) (*Bundle, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadBundle(f)
+	if len(data) >= len(BundleMagic) && string(data[:len(BundleMagic)]) == BundleMagic {
+		return ReadBundleBinary(data)
+	}
+	return ReadBundle(bytes.NewReader(data))
 }
 
 // WriteBundle serializes a fitted adapter (and optional classifier) as a

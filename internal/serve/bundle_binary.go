@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"netdrift/internal/binenc"
+	"netdrift/internal/core"
+	"netdrift/internal/models"
+)
+
+// Binary bundle format: a flat little-endian envelope around the binary
+// adapter/classifier encodings, built for the hot-swap load path — no JSON
+// parse, no base64, sections land directly in the structs the executor
+// reads. Layout:
+//
+//	4B magic "NDBF"
+//	u16 format version
+//	u16-prefixed id string
+//	u8 hasClassifier
+//	adapter section:     u32 byteLen, u32 CRC-32 (IEEE), payload
+//	classifier section:  same shape, present iff hasClassifier
+//
+// Each section checksum covers its payload bytes, so a torn or bit-rotted
+// artifact fails loudly at load instead of serving garbage weights.
+// LoadBundleFile sniffs the magic, so callers (registry hot-swap, CLI
+// tooling) handle both formats transparently; a binary load is
+// breaker-safe in the same way the JSON path is — validation failures are
+// typed errors, never panics.
+
+// BundleMagic marks a binary bundle file.
+const BundleMagic = "NDBF"
+
+// BundleFormat selects an on-disk bundle encoding.
+type BundleFormat string
+
+const (
+	// FormatJSON is the original self-describing envelope, kept for
+	// tooling and diffability.
+	FormatJSON BundleFormat = "json"
+	// FormatBinary is the flat checksummed encoding for fast loads.
+	FormatBinary BundleFormat = "binary"
+)
+
+// ErrBadChecksum marks a bundle section whose payload fails its CRC.
+var ErrBadChecksum = errors.New("serve: bundle section checksum mismatch")
+
+// ErrBadMagic marks a binary bundle without the NDBF magic.
+var ErrBadMagic = errors.New("serve: not a binary bundle (bad magic)")
+
+// AppendBundleBinary appends the binary encoding of a bundle to dst.
+func AppendBundleBinary(dst []byte, id string, ad *core.Adapter, clf *models.MLPClassifier) ([]byte, error) {
+	if ad == nil {
+		return dst, ErrNoAdapter
+	}
+	dst = append(dst, BundleMagic...)
+	dst = binenc.AppendU16(dst, uint16(bundleFormatVersion))
+	dst = binenc.AppendString(dst, id)
+	dst = binenc.AppendBool(dst, clf != nil)
+	adPayload, err := ad.AppendBinary(nil)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendSection(dst, adPayload)
+	if clf != nil {
+		clfPayload, err := clf.AppendBinary(nil)
+		if err != nil {
+			return dst, err
+		}
+		dst = appendSection(dst, clfPayload)
+	}
+	return dst, nil
+}
+
+func appendSection(dst, payload []byte) []byte {
+	dst = binenc.AppendU32(dst, uint32(len(payload)))
+	dst = binenc.AppendU32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// readSection validates a section's length prefix and checksum, returning
+// the payload bytes (a subslice of the reader's input, not a copy).
+func readSection(r *binenc.Reader) ([]byte, error) {
+	n := r.Count(1)
+	sum := r.U32()
+	b := r.Bytes(n)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(b) != sum {
+		return nil, ErrBadChecksum
+	}
+	return b, nil
+}
+
+// ReadBundleBinary decodes a binary bundle from data. Malformed input —
+// truncation, bad magic, checksum mismatch, hostile dims, non-finite
+// weights — fails with a typed error and never panics.
+func ReadBundleBinary(data []byte) (*Bundle, error) {
+	if len(data) < len(BundleMagic) || string(data[:len(BundleMagic)]) != BundleMagic {
+		return nil, ErrBadMagic
+	}
+	r := binenc.NewReader(data[len(BundleMagic):])
+	version := int(r.U16())
+	id := r.String()
+	hasClf := r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("serve: decode bundle: %w", err)
+	}
+	if version != bundleFormatVersion {
+		return nil, fmt.Errorf("serve: unsupported bundle format %d", version)
+	}
+	adPayload, err := readSection(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decode bundle adapter section: %w", err)
+	}
+	b := &Bundle{ID: id}
+	ad, err := core.LoadAdapterBinary(binenc.NewReader(adPayload))
+	if err != nil {
+		return nil, err
+	}
+	b.Adapter = ad
+	if hasClf {
+		clfPayload, err := readSection(r)
+		if err != nil {
+			return nil, fmt.Errorf("serve: decode bundle classifier section: %w", err)
+		}
+		clf, err := models.LoadMLPClassifierBinary(binenc.NewReader(clfPayload))
+		if err != nil {
+			return nil, err
+		}
+		b.Classifier = clf
+	}
+	return b, nil
+}
+
+// WriteBundleBinary serializes a bundle in the binary format to w.
+func WriteBundleBinary(w io.Writer, id string, ad *core.Adapter, clf *models.MLPClassifier) error {
+	data, err := AppendBundleBinary(nil, id, ad, clf)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteBundleFileFormat writes a bundle to disk in the requested format.
+func WriteBundleFileFormat(path, id string, ad *core.Adapter, clf *models.MLPClassifier, format BundleFormat) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	switch format {
+	case FormatBinary:
+		werr = WriteBundleBinary(f, id, ad, clf)
+	case FormatJSON, "":
+		werr = WriteBundle(f, id, ad, clf)
+	default:
+		werr = fmt.Errorf("serve: unknown bundle format %q", format)
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"netdrift/internal/obs"
@@ -149,18 +150,66 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttr("outcome", kind)
 		sp.End()
 	}
-	var req AdaptRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		outcome("error")
-		httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
-		return
+	// Content negotiation: a binary (NDRB) body is announced by
+	// Content-Type; the response codec follows Accept, defaulting to the
+	// request's codec. Error responses are always JSON — status codes are
+	// codec-independent, and a failing client is better served by a
+	// readable body.
+	binaryReq := strings.Contains(r.Header.Get("Content-Type"), ContentTypeRows)
+	binaryResp := wantBinaryResponse(r.Header.Get("Accept"), binaryReq)
+	reqCodec := codecJSON
+	if binaryReq {
+		reqCodec = codecBinary
 	}
-	if len(req.Rows) == 0 {
+	s.o.Counter(obs.MetricServeCodecRequests, "codec", reqCodec).Inc()
+
+	var rows [][]float64
+	var seed int64
+	var predict bool
+	pb := adaptBufPool.Get().(*adaptBuf)
+	recycle := true
+	defer func() {
+		if recycle {
+			adaptBufPool.Put(pb)
+		}
+	}()
+	if binaryReq {
+		body, err := pb.readBody(r.Body)
+		s.o.FixedHistogram(obs.MetricServeRequestBytes, obs.SizeBuckets, "codec", codecBinary).
+			Observe(float64(len(body)))
+		if err != nil {
+			outcome("error")
+			httpError(w, http.StatusBadRequest, "read request: "+err.Error())
+			return
+		}
+		rows, seed, predict, err = DecodeRowsRequest(body, &pb.rows)
+		if err != nil {
+			// Malformed wire input is a client error: it is rejected here,
+			// before the coalescer, so it can never trip the serving
+			// breakers (pinned by TestMalformedBinaryRequestDoesNotTripBreakers).
+			outcome("error")
+			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+	} else {
+		var req AdaptRequest
+		cr := countingReader{r: r.Body}
+		err := json.NewDecoder(&cr).Decode(&req)
+		s.o.FixedHistogram(obs.MetricServeRequestBytes, obs.SizeBuckets, "codec", codecJSON).
+			Observe(float64(cr.n))
+		if err != nil {
+			outcome("error")
+			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+		rows, seed, predict = req.Rows, req.Seed, req.Predict
+	}
+	if len(rows) == 0 {
 		outcome("error")
 		httpError(w, http.StatusBadRequest, "rows must not be empty")
 		return
 	}
-	if err := s.validateRows(req.Rows); err != nil {
+	if err := s.validateRows(rows); err != nil {
 		outcome("error")
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -180,7 +229,16 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
-	res, err := s.co.SubmitTraced(ctx, req.Rows, req.Seed, req.Predict, sp)
+	if binaryReq {
+		// The decoded rows live in pb and are about to be handed to the
+		// coalescer; from here pb may be recycled only when Submit's return
+		// proves the executor is done with them (see adaptBuf).
+		recycle = false
+	}
+	res, err := s.co.SubmitTraced(ctx, rows, seed, predict, sp)
+	if binaryReq && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		recycle = true
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrOverloaded):
@@ -215,16 +273,28 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Degraded {
 		outcome("degraded")
+		w.Header().Set(DegradedHeader, "true")
 	} else {
 		outcome("ok")
 	}
+	if binaryResp {
+		pb.resp = AppendRowsResponse(pb.resp[:0], &res)
+		w.Header().Set("Content-Type", ContentTypeRows)
+		w.Write(pb.resp)
+		s.o.FixedHistogram(obs.MetricServeResponseBytes, obs.SizeBuckets, "codec", codecBinary).
+			Observe(float64(len(pb.resp)))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(AdaptResponse{
+	cw := countingWriter{w: w}
+	json.NewEncoder(&cw).Encode(AdaptResponse{
 		BundleID:    res.BundleID,
 		Rows:        res.Rows,
 		Predictions: res.Predictions,
 		Degraded:    res.Degraded,
 	})
+	s.o.FixedHistogram(obs.MetricServeResponseBytes, obs.SizeBuckets, "codec", codecJSON).
+		Observe(float64(cw.n))
 }
 
 // Health statuses reported by /healthz.

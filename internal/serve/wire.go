@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"netdrift/internal/binenc"
+)
+
+// Row-batch wire codec: the binary alternative to the JSON /v1/adapt
+// payloads, negotiated via Content-Type / Accept. The shape is a flat
+// little-endian float64 matrix with a fixed header, so the server decodes
+// a request straight into a caller-owned RowBuf — zero allocations in
+// steady state (gated by TestBinaryDecodeSteadyStateAllocs) — and encodes
+// a response with one append pass over the result rows.
+//
+// Request layout ("NDRB" magic):
+//
+//	4B magic, u16 version, u16 flags (bit0 = predict)
+//	i64 seed
+//	u32 rowCount, u32 width
+//	rowCount×width f64, row-major, no per-row framing
+//
+// Response layout (same magic and version field):
+//
+//	4B magic, u16 version, u16 flags (bit0 = degraded, bit1 = has predictions)
+//	u16-prefixed bundle id string
+//	u32 rowCount, u32 width, rowCount×width f64 adapted rows
+//	if bit1: u32 predCols, rowCount×predCols f64 probabilities
+//
+// The byte count is fully determined by the header, and decoders require
+// the payload to end exactly where the header says — trailing garbage is
+// malformed. Malformed input of any kind (bad magic, truncation, hostile
+// counts, non-finite values) is a typed error, never a panic, and the
+// HTTP layer maps it to a 4xx that does not touch the serving breakers.
+
+// ContentTypeRows is the media type of the binary row-batch codec on
+// /v1/adapt, for both request bodies (Content-Type) and response
+// negotiation (Accept).
+const ContentTypeRows = "application/x-netdrift-rows"
+
+// RowsMagic marks a binary row-batch payload.
+const RowsMagic = "NDRB"
+
+const rowsWireVersion = 1
+
+// Wire flag bits.
+const (
+	rowsFlagPredict  = 1 << 0 // request: ask for class probabilities
+	rowsFlagDegraded = 1 << 0 // response: passthrough (degraded) result
+	rowsFlagPreds    = 1 << 1 // response: predictions section present
+)
+
+// maxWireDim bounds the declared row count and width of a wire payload;
+// combined with the exact-length check it keeps a hostile header from
+// driving oversized row-slice allocations.
+const maxWireDim = 1 << 24
+
+// Typed wire decode failures (beyond the binenc set, which is also used).
+var (
+	// ErrWireMagic marks a payload without the NDRB magic.
+	ErrWireMagic = errors.New("serve: not a row-batch payload (bad magic)")
+	// ErrWireVersion marks an unsupported row-batch codec version.
+	ErrWireVersion = errors.New("serve: unsupported row-batch version")
+	// ErrWireShape marks a header whose declared shape disagrees with the
+	// payload length.
+	ErrWireShape = errors.New("serve: row-batch shape does not match payload length")
+)
+
+// RowBuf is a reusable decode target for row batches: the flat float64
+// storage and the row headers over it are recycled across requests, so a
+// steady-state DecodeRowsRequest performs no allocations. One RowBuf
+// serves one request at a time; it must not be recycled while the decoded
+// rows may still be referenced by the coalescer (see the pooling rules in
+// the HTTP handler).
+type RowBuf struct {
+	flat []float64
+	rows [][]float64
+}
+
+// shape returns n row headers of the given width over the buffer's flat
+// storage, growing both backing slices only when capacity is exceeded.
+func (b *RowBuf) shape(n, width int) [][]float64 {
+	need := n * width
+	if cap(b.flat) < need {
+		b.flat = make([]float64, need)
+	}
+	b.flat = b.flat[:need]
+	if cap(b.rows) < n {
+		b.rows = make([][]float64, n)
+	}
+	b.rows = b.rows[:n]
+	for i := 0; i < n; i++ {
+		b.rows[i] = b.flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	return b.rows
+}
+
+// AppendRowsRequest appends the binary encoding of an adapt request to
+// dst. All rows must share one width; the zero-row case is encodable (the
+// server rejects it, same as the JSON path).
+func AppendRowsRequest(dst []byte, rows [][]float64, seed int64, predict bool) []byte {
+	var flags uint16
+	if predict {
+		flags |= rowsFlagPredict
+	}
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	dst = append(dst, RowsMagic...)
+	dst = binenc.AppendU16(dst, rowsWireVersion)
+	dst = binenc.AppendU16(dst, flags)
+	dst = binenc.AppendI64(dst, seed)
+	dst = binenc.AppendU32(dst, uint32(len(rows)))
+	dst = binenc.AppendU32(dst, uint32(width))
+	for _, row := range rows {
+		dst = binenc.AppendF64sRaw(dst, row)
+	}
+	return dst
+}
+
+// DecodeRowsRequest decodes a request payload into buf, returning row
+// headers owned by buf (valid until its next reuse). Steady-state calls
+// with a warm buf allocate nothing. Finiteness is NOT checked here — the
+// handler's shared validateRows pass covers both codecs identically.
+func DecodeRowsRequest(data []byte, buf *RowBuf) (rows [][]float64, seed int64, predict bool, err error) {
+	r := binenc.Reader{}
+	r.Reset(data)
+	if string(r.Bytes(len(RowsMagic))) != RowsMagic {
+		return nil, 0, false, ErrWireMagic
+	}
+	version := r.U16()
+	flags := r.U16()
+	seed = r.I64()
+	n := int(r.U32())
+	width := int(r.U32())
+	if e := r.Err(); e != nil {
+		return nil, 0, false, fmt.Errorf("serve: decode rows request: %w", e)
+	}
+	if version != rowsWireVersion {
+		return nil, 0, false, fmt.Errorf("%w %d", ErrWireVersion, version)
+	}
+	if n < 0 || n > maxWireDim || width < 0 || width > maxWireDim {
+		return nil, 0, false, fmt.Errorf("%w: %d×%d", ErrWireShape, n, width)
+	}
+	if r.Remaining() != n*width*8 {
+		return nil, 0, false, fmt.Errorf("%w: %d×%d needs %d payload bytes, have %d",
+			ErrWireShape, n, width, n*width*8, r.Remaining())
+	}
+	rows = buf.shape(n, width)
+	r.F64sInto(buf.flat)
+	if e := r.Err(); e != nil {
+		return nil, 0, false, fmt.Errorf("serve: decode rows request: %w", e)
+	}
+	return rows, seed, flags&rowsFlagPredict != 0, nil
+}
+
+// AppendRowsResponse appends the binary encoding of an adapt result to dst.
+func AppendRowsResponse(dst []byte, res *Result) []byte {
+	var flags uint16
+	if res.Degraded {
+		flags |= rowsFlagDegraded
+	}
+	if res.Predictions != nil {
+		flags |= rowsFlagPreds
+	}
+	width := 0
+	if len(res.Rows) > 0 {
+		width = len(res.Rows[0])
+	}
+	dst = append(dst, RowsMagic...)
+	dst = binenc.AppendU16(dst, rowsWireVersion)
+	dst = binenc.AppendU16(dst, flags)
+	dst = binenc.AppendString(dst, res.BundleID)
+	dst = binenc.AppendU32(dst, uint32(len(res.Rows)))
+	dst = binenc.AppendU32(dst, uint32(width))
+	for _, row := range res.Rows {
+		dst = binenc.AppendF64sRaw(dst, row)
+	}
+	if res.Predictions != nil {
+		predCols := 0
+		if len(res.Predictions) > 0 {
+			predCols = len(res.Predictions[0])
+		}
+		dst = binenc.AppendU32(dst, uint32(predCols))
+		for _, row := range res.Predictions {
+			dst = binenc.AppendF64sRaw(dst, row)
+		}
+	}
+	return dst
+}
+
+// DecodeRowsResponse decodes a response payload into the JSON-equivalent
+// AdaptResponse shape. This is the client-side half (loadgen, chaoscheck,
+// cross-codec tests); it allocates fresh rows.
+func DecodeRowsResponse(data []byte) (AdaptResponse, error) {
+	var out AdaptResponse
+	r := binenc.Reader{}
+	r.Reset(data)
+	if string(r.Bytes(len(RowsMagic))) != RowsMagic {
+		return out, ErrWireMagic
+	}
+	version := r.U16()
+	flags := r.U16()
+	out.BundleID = r.String()
+	n := int(r.U32())
+	width := int(r.U32())
+	if e := r.Err(); e != nil {
+		return out, fmt.Errorf("serve: decode rows response: %w", e)
+	}
+	if version != rowsWireVersion {
+		return out, fmt.Errorf("%w %d", ErrWireVersion, version)
+	}
+	if n < 0 || n > maxWireDim || width < 0 || width > maxWireDim ||
+		r.Remaining() < n*width*8 {
+		return out, fmt.Errorf("%w: %d×%d", ErrWireShape, n, width)
+	}
+	out.Degraded = flags&rowsFlagDegraded != 0
+	out.Rows = make([][]float64, n)
+	for i := range out.Rows {
+		out.Rows[i] = make([]float64, width)
+		r.F64sInto(out.Rows[i])
+	}
+	if flags&rowsFlagPreds != 0 {
+		predCols := int(r.U32())
+		if e := r.Err(); e != nil {
+			return out, fmt.Errorf("serve: decode rows response: %w", e)
+		}
+		if predCols < 0 || predCols > maxWireDim || r.Remaining() != n*predCols*8 {
+			return out, fmt.Errorf("%w: predictions %d×%d", ErrWireShape, n, predCols)
+		}
+		out.Predictions = make([][]float64, n)
+		for i := range out.Predictions {
+			out.Predictions[i] = make([]float64, predCols)
+			r.F64sInto(out.Predictions[i])
+		}
+	} else if r.Remaining() != 0 {
+		return out, fmt.Errorf("%w: %d trailing bytes", ErrWireShape, r.Remaining())
+	}
+	if e := r.Err(); e != nil {
+		return out, fmt.Errorf("serve: decode rows response: %w", e)
+	}
+	return out, nil
+}
