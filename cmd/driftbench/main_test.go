@@ -36,7 +36,7 @@ func TestRunBenchMode(t *testing.T) {
 	if rep.GOMAXPROCS < 1 || rep.Workers < 1 {
 		t.Errorf("bench header gomaxprocs=%d workers=%d", rep.GOMAXPROCS, rep.Workers)
 	}
-	want := []string{"matmul", "covariance", "fs_search", "table1_cells"}
+	want := []string{"matmul", "covariance", "fs_search", "table1_cells", "gan_epoch"}
 	if len(rep.Stages) != len(want) {
 		t.Fatalf("got %d stages; want %d:\n%s", len(rep.Stages), len(want), blob)
 	}
@@ -50,6 +50,14 @@ func TestRunBenchMode(t *testing.T) {
 		if st.SeqSeconds <= 0 || st.ParSeconds <= 0 {
 			t.Errorf("stage %s: non-positive timings %+v", st.Name, st)
 		}
+		if st.GOMAXPROCS < 1 {
+			t.Errorf("stage %s: gomaxprocs=%d", st.Name, st.GOMAXPROCS)
+		}
+	}
+	// The training stage raises GOMAXPROCS to give its workers real
+	// parallelism even on a constrained runner, and records what it used.
+	if last := rep.Stages[len(rep.Stages)-1]; last.GOMAXPROCS < 4 {
+		t.Errorf("gan_epoch ran at gomaxprocs=%d; want >= 4", last.GOMAXPROCS)
 	}
 	if !strings.Contains(buf.String(), "benchmark report written to") {
 		t.Errorf("stdout missing report banner:\n%s", buf.String())

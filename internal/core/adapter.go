@@ -46,11 +46,19 @@ type AdapterConfig struct {
 	VAE   VAEConfig          // VAE/VanillaAE settings
 	Seed  int64
 	// Workers bounds the goroutines used by the pipeline's parallel stages
-	// (today the FS causal search; see causal.FNodeConfig.Workers). It is
-	// propagated to the FS sub-config unless that already sets its own
-	// value. <= 0 means runtime.GOMAXPROCS(0); 1 forces the exact
-	// sequential path. Results are bit-identical for every value.
+	// (the FS causal search and, when TrainShards > 1, the gradient-shard
+	// workers of reconstructor training). It is propagated to the FS/GAN/VAE
+	// sub-configs unless those already set their own value. <= 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the exact sequential path. Results are
+	// bit-identical for every value.
 	Workers int
+	// TrainShards, when > 1, trains the reconstructor with that many
+	// deterministic gradient shards per minibatch (data-parallel across
+	// Workers goroutines). Propagated to the GAN/VAE sub-configs unless they
+	// set their own. Unlike Workers, the shard count is part of the
+	// reproducibility key, like the seed: changing it changes the trained
+	// bits (changing Workers never does). 0/1 keeps the sequential trainer.
+	TrainShards int
 	// Obs, when non-nil, instruments the whole pipeline: Fit/TransformTarget
 	// latencies and spans, CI-test counters from the FS search, per-epoch
 	// reconstructor losses, and a reconstruction-error histogram. It is
@@ -83,6 +91,18 @@ func NewAdapter(cfg AdapterConfig) *Adapter {
 	}
 	if cfg.FS.Workers == 0 {
 		cfg.FS.Workers = cfg.Workers
+	}
+	if cfg.GAN.Workers == 0 {
+		cfg.GAN.Workers = cfg.Workers
+	}
+	if cfg.VAE.Workers == 0 {
+		cfg.VAE.Workers = cfg.Workers
+	}
+	if cfg.GAN.Shards == 0 {
+		cfg.GAN.Shards = cfg.TrainShards
+	}
+	if cfg.VAE.Shards == 0 {
+		cfg.VAE.Shards = cfg.TrainShards
 	}
 	if cfg.Obs != nil {
 		// Light up the sub-stages with the pipeline observer unless the

@@ -31,6 +31,16 @@ type GANConfig struct {
 	// conditional distribution. Set to 0 for the pure objective.
 	AnchorWeight float64 // default 0.25
 	Seed         int64
+	// Shards fixes the gradient-shard count for deterministic data-parallel
+	// training; 0 or 1 selects the single-shard sequential path. The shard
+	// count — never the worker count — defines the batch math (per-shard
+	// ghost batch norm, per-shard noise/dropout streams), so it is part of
+	// the reproducibility key like Seed. Never serialized: persisted
+	// adapters are inference-only and re-Fit rebuilds the nets anyway.
+	Shards int `json:"-"`
+	// Workers bounds the goroutines running the shards; <= 0 uses all CPUs.
+	// Trained weights are bit-identical for every value. Never serialized.
+	Workers int `json:"-"`
 	// Obs, when non-nil, receives per-epoch generator/discriminator losses
 	// and a fit-completion event. It never changes the training math or the
 	// RNG stream, so instrumented and plain runs produce identical weights.
@@ -76,6 +86,7 @@ type CGAN struct {
 	fixedZ  []float64 // pinned inference noise draw (M=1, §V-C2)
 	trained bool
 	scr     ganScratch
+	shr     *ganShards // sharded-training state; nil on the sequential path
 }
 
 // ganScratch holds the per-batch buffers reused across the whole training
@@ -171,6 +182,9 @@ func (g *CGAN) Fit(inv, vr [][]float64, y []int, numClasses int) error {
 	optD := nn.NewAdam(g.cfg.LR, g.cfg.Decay)
 	genParams := g.gen.Params()
 	discParams := g.disc.Params()
+	if g.cfg.Shards > 1 {
+		g.shr = newGANShards(g)
+	}
 
 	n := len(inv)
 	bestLoss := math.Inf(1)
@@ -186,11 +200,21 @@ func (g *CGAN) Fit(inv, vr [][]float64, y []int, numClasses int) error {
 			if g.cfg.Conditional {
 				nn.GatherInto(&scr.bLab, oneHot, idx)
 			}
-			dLoss, err := g.discStep(optD, discParams, genParams)
+			var dLoss, gLoss float64
+			var err error
+			if g.shr != nil {
+				dLoss, err = g.discStepSharded(optD, discParams)
+			} else {
+				dLoss, err = g.discStep(optD, discParams, genParams)
+			}
 			if err != nil {
 				return fmt.Errorf("core: gan epoch %d: %w", epoch, err)
 			}
-			gLoss, err := g.genStep(optG, genParams, discParams)
+			if g.shr != nil {
+				gLoss, err = g.genStepSharded(optG, genParams)
+			} else {
+				gLoss, err = g.genStep(optG, genParams, discParams)
+			}
 			if err != nil {
 				return fmt.Errorf("core: gan epoch %d: %w", epoch, err)
 			}
@@ -315,6 +339,13 @@ func (g *CGAN) genStep(opt nn.Optimizer, genParams, discParams []*nn.Param) (flo
 	opt.Step(genParams)
 	nn.ZeroGrads(discParams) // D gradients from this pass are discarded
 	return loss, nil
+}
+
+// Snapshots returns deep copies of the trained networks' parameters and
+// running statistics (generator first, then discriminator), for bitwise
+// determinism verification across worker counts and kernel sets.
+func (g *CGAN) Snapshots() []*nn.Snapshot {
+	return []*nn.Snapshot{nn.TakeSnapshot(g.gen), nn.TakeSnapshot(g.disc)}
 }
 
 // Reconstruct maps invariant rows to source-like variant features using a

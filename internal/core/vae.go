@@ -18,6 +18,12 @@ type VAEConfig struct {
 	Hidden    int     // default from data dimension
 	KLWeight  float64 // default 0.05
 	Seed      int64
+	// Shards and Workers mirror GANConfig: Shards fixes the deterministic
+	// gradient-shard count (0/1 = sequential path) and is part of the
+	// reproducibility key; Workers only bounds the goroutines and never
+	// changes the trained bits. Never serialized.
+	Shards  int `json:"-"`
+	Workers int `json:"-"`
 	// Obs, when non-nil, receives per-epoch training losses. It never
 	// changes the training math or the RNG stream. Never serialized.
 	Obs *obs.Observer `json:"-"`
@@ -58,6 +64,7 @@ type VAE struct {
 	fixedZ         []float64 // pinned inference latent (mirrors the GAN's M=1)
 	trained        bool
 	scr            vaeScratch
+	shr            *vaeShards // sharded-training state; nil on the sequential path
 }
 
 // vaeScratch holds the per-batch buffers reused across the whole training
@@ -116,6 +123,9 @@ func (v *VAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 	)
 	opt := nn.NewAdam(v.cfg.LR, 1e-6)
 	params := append(v.encoder.Params(), v.decoder.Params()...)
+	if v.cfg.Shards > 1 {
+		v.shr = newVAEShards(v)
+	}
 
 	n := len(inv)
 	bestLoss := math.Inf(1)
@@ -128,7 +138,13 @@ func (v *VAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 		for _, idx := range scr.batches {
 			nn.GatherInto(&scr.bInv, inv, idx)
 			nn.GatherInto(&scr.bVar, vr, idx)
-			loss, err := v.step(opt, params)
+			var loss float64
+			var err error
+			if v.shr != nil {
+				loss, err = v.stepSharded(opt, params)
+			} else {
+				loss, err = v.step(opt, params)
+			}
 			if err != nil {
 				return fmt.Errorf("core: vae epoch %d: %w", epoch, err)
 			}
@@ -237,6 +253,7 @@ type VanillaAE struct {
 	batches    [][]int
 	bInv, bVar nn.Tensor
 	grad       nn.Tensor
+	shr        *aeShards // sharded-training state; nil on the sequential path
 }
 
 var _ Reconstructor = (*VanillaAE)(nil)
@@ -273,6 +290,9 @@ func (a *VanillaAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 	)
 	opt := nn.NewAdam(a.cfg.LR, 1e-6)
 	params := a.net.Params()
+	if a.cfg.Shards > 1 {
+		a.shr = newAEShards(a)
+	}
 	bestLoss := math.Inf(1)
 	convergedEpoch := 0
 	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
@@ -282,13 +302,21 @@ func (a *VanillaAE) Fit(inv, vr [][]float64, _ []int, _ int) error {
 		for _, idx := range a.batches {
 			nn.GatherInto(&a.bInv, inv, idx)
 			nn.GatherInto(&a.bVar, vr, idx)
-			out := a.net.ForwardT(&a.bInv, true)
-			loss, err := nn.MSET(out, &a.bVar, &a.grad)
+			var loss float64
+			var err error
+			if a.shr != nil {
+				loss, err = a.stepSharded(opt, params)
+			} else {
+				out := a.net.ForwardT(&a.bInv, true)
+				loss, err = nn.MSET(out, &a.bVar, &a.grad)
+				if err == nil {
+					a.net.BackwardT(&a.grad)
+					opt.Step(params)
+				}
+			}
 			if err != nil {
 				return fmt.Errorf("core: ae epoch %d: %w", epoch, err)
 			}
-			a.net.BackwardT(&a.grad)
-			opt.Step(params)
 			lossSum += loss
 			batches++
 		}

@@ -86,6 +86,11 @@ type Table1Config struct {
 	// bit-identical for every value (see DESIGN.md, "Determinism
 	// contract"). Only Progress-line interleaving may differ.
 	Workers int
+	// TrainShards, when > 1, runs the "ours" rows' reconstructor training
+	// with that many deterministic gradient shards per minibatch (see
+	// core.AdapterConfig.TrainShards). Part of the reproducibility key:
+	// changing it changes the trained bits; Workers never does.
+	TrainShards int
 	// Progress, when non-nil, receives one line per completed cell. It may
 	// be called from multiple goroutines (never concurrently) when
 	// Workers != 1.
@@ -239,8 +244,11 @@ func RunTable1(cfg Table1Config) (*Table1Result, error) {
 		if om, ok := m.(*OursMethod); ok {
 			om.Cfg.Obs = cfg.Obs
 			// The cell grid owns the parallelism; keep the in-cell FS
-			// search on its sequential path to avoid oversubscription.
+			// search and shard workers on their sequential paths to avoid
+			// oversubscription. TrainShards still applies — the shard count
+			// changes the bits, the worker count never does.
 			om.Cfg.Workers = 1
+			om.Cfg.TrainShards = cfg.TrainShards
 		}
 		m = baselines.Instrument(m, cfg.Obs)
 		out := make(map[string]float64)

@@ -17,6 +17,15 @@ type BatchNorm struct {
 	gamma, beta             *Param
 	runningMean, runningVar []float64
 
+	// deferStats suppresses the running-stat update in training forwards.
+	// Shard replicas run with it set (ghost batch norm): each shard
+	// normalizes with its own batch statistics, and the trainer folds the
+	// pending statistics into the canonical layer afterwards, in shard
+	// order, via FoldStatsInto — so running stats are identical at every
+	// worker count.
+	deferStats   bool
+	statsPending bool
+
 	// forward caches and scratch (reused across batches)
 	trainPass  bool // last forward used batch statistics
 	xHat       Tensor
@@ -27,6 +36,7 @@ type BatchNorm struct {
 	gradIn     Tensor
 	sumG       []float64
 	sumGX      []float64
+	coef       []float64
 	legacy     legacyIO
 }
 
@@ -50,6 +60,7 @@ func NewBatchNorm(dim int) *BatchNorm {
 		std:         make([]float64, dim),
 		sumG:        make([]float64, dim),
 		sumGX:       make([]float64, dim),
+		coef:        make([]float64, dim),
 	}
 	for i := range bn.gamma.Data {
 		bn.gamma.Data[i] = 1
@@ -87,26 +98,17 @@ func (bn *BatchNorm) ForwardT(x *Tensor, train bool) *Tensor {
 		mean[j] = 0
 	}
 	for i := 0; i < n; i++ {
-		for j, v := range x.Row(i) {
-			mean[j] += v
-		}
+		vadd(mean, x.Row(i))
 	}
-	for j := range mean {
-		mean[j] /= float64(n)
-	}
+	vdivs(mean, float64(n))
 	variance := bn.vari
 	for j := range variance {
 		variance[j] = 0
 	}
 	for i := 0; i < n; i++ {
-		for j, v := range x.Row(i) {
-			d := v - mean[j]
-			variance[j] += d * d
-		}
+		vsqDiffAdd(variance, x.Row(i), mean)
 	}
-	for j := range variance {
-		variance[j] /= float64(n)
-	}
+	vdivs(variance, float64(n))
 
 	for j := range bn.std {
 		bn.std[j] = math.Sqrt(variance[j] + bn.Eps)
@@ -115,19 +117,38 @@ func (bn *BatchNorm) ForwardT(x *Tensor, train bool) *Tensor {
 	bn.trainPass = true
 	bn.batchLen = n
 	for i := 0; i < n; i++ {
-		row := x.Row(i)
 		xh := xHat.Row(i)
-		o := out.Row(i)
-		for j, v := range row {
-			xh[j] = (v - mean[j]) / bn.std[j]
-			o[j] = bn.gamma.Data[j]*xh[j] + bn.beta.Data[j]
-		}
+		vbnNorm(xh, x.Row(i), mean, bn.std)
+		vbnAffine(out.Row(i), xh, bn.gamma.Data, bn.beta.Data)
 	}
+	if bn.deferStats {
+		bn.statsPending = true
+	} else {
+		bn.applyStats(mean, variance)
+	}
+	return out
+}
+
+// applyStats performs the exponential running-stat update from one batch's
+// mean/variance.
+func (bn *BatchNorm) applyStats(mean, variance []float64) {
 	for j := range mean {
 		bn.runningMean[j] = (1-bn.Momentum)*bn.runningMean[j] + bn.Momentum*mean[j]
 		bn.runningVar[j] = (1-bn.Momentum)*bn.runningVar[j] + bn.Momentum*variance[j]
 	}
-	return out
+}
+
+// FoldStatsInto applies the receiver's pending batch statistics (stashed by
+// a deferStats training forward) to dst's running statistics and clears the
+// pending flag. The trainer calls this once per shard in shard-index order
+// after every parallel section, making the canonical running stats a pure
+// function of the shard shape. No-op when nothing is pending.
+func (bn *BatchNorm) FoldStatsInto(dst *BatchNorm) {
+	if !bn.statsPending {
+		return
+	}
+	bn.statsPending = false
+	dst.applyStats(bn.mean, bn.vari)
 }
 
 // Backward implements the standard batch-norm gradient.
@@ -159,21 +180,20 @@ func (bn *BatchNorm) BackwardT(gradOut *Tensor) *Tensor {
 	for i := 0; i < gradOut.rows; i++ {
 		gRow := gradOut.Row(i)
 		xh := bn.xHat.Row(i)
-		for j, g := range gRow {
-			sumG[j] += g
-			sumGX[j] += g * xh[j]
-			bn.beta.Grad[j] += g
-			bn.gamma.Grad[j] += g * xh[j]
-		}
+		vadd(sumG, gRow)
+		vmulAdd(sumGX, gRow, xh)
+		vadd(bn.beta.Grad, gRow)
+		vmulAdd(bn.gamma.Grad, gRow, xh)
+	}
+	// gamma/(n*std) hoisted once per batch: the historical per-row
+	// expression parsed as (gamma/(n*std)) * (...), so the hoist reuses the
+	// exact same operations and bits.
+	for j := range bn.coef {
+		bn.coef[j] = bn.gamma.Data[j] / (n * bn.std[j])
 	}
 	for i := 0; i < gradOut.rows; i++ {
-		gRow := gradOut.Row(i)
-		xh := bn.xHat.Row(i)
-		gi := gradIn.Row(i)
-		for j, g := range gRow {
-			gi[j] = bn.gamma.Data[j] / (n * bn.std[j]) *
-				(n*g - sumG[j] - xh[j]*sumGX[j])
-		}
+		vbnBack(gradIn.Row(i), gradOut.Row(i), bn.xHat.Row(i),
+			bn.coef, sumG, sumGX, n)
 	}
 	return gradIn
 }

@@ -21,7 +21,7 @@ func axpy4avx(v *[4]float64, w, o0, o1, o2, o3 *float64, n int)
 func axpy1avx(v float64, w, o *float64, n int)
 
 func axpy4(v *[4]float64, w, o0, o1, o2, o3 []float64) {
-	if hasAVX && len(w) > 0 {
+	if simdActive && len(w) > 0 {
 		axpy4avx(v, &w[0], &o0[0], &o1[0], &o2[0], &o3[0], len(w))
 		return
 	}
@@ -29,7 +29,7 @@ func axpy4(v *[4]float64, w, o0, o1, o2, o3 []float64) {
 }
 
 func axpy1(v float64, w, o []float64) {
-	if hasAVX && len(w) > 0 {
+	if simdActive && len(w) > 0 {
 		axpy1avx(v, &w[0], &o[0], len(w))
 		return
 	}

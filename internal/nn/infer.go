@@ -100,6 +100,15 @@ func (n *Network) InferT(x *Tensor, s *InferScratch) *Tensor {
 // them), so the result is bit-identical to the row-at-a-time eval forward.
 func (d *Dense) InferT(x *Tensor, s *InferScratch) *Tensor {
 	out := s.grab().Reset(x.rows, d.Out)
+	if d.Out == 1 {
+		// Single-output layers follow ForwardT's Out==1 definition — one
+		// wide dot per row, no zero skip — so the bit-identity contract
+		// with the eval forward holds.
+		for i := 0; i < x.rows; i++ {
+			out.data[i] = d.b.Data[0] + vdot(x.Row(i), d.w.Data)
+		}
+		return out
+	}
 	i := 0
 	for ; i+4 <= x.rows; i += 4 {
 		x0, x1, x2, x3 := x.Row(i), x.Row(i+1), x.Row(i+2), x.Row(i+3)
@@ -151,8 +160,15 @@ func (d *Dense) InferT(x *Tensor, s *InferScratch) *Tensor {
 // InferT implements Inferencer for elementwise activations.
 func (a *activation) InferT(x *Tensor, s *InferScratch) *Tensor {
 	out := s.grab().Reset(x.rows, x.cols)
-	for i, v := range x.data {
-		out.data[i] = a.fn(v)
+	switch a.kind {
+	case actReLU:
+		vreluFwd(out.data, x.data)
+	case actLeakyReLU:
+		vlreluFwd(out.data, x.data, a.alpha)
+	default:
+		for i, v := range x.data {
+			out.data[i] = a.fn(v)
+		}
 	}
 	return out
 }

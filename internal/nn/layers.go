@@ -113,6 +113,16 @@ func (d *Dense) Forward(x [][]float64, train bool) [][]float64 {
 func (d *Dense) ForwardT(x *Tensor, _ bool) *Tensor {
 	d.input = x
 	out := d.out.Reset(x.rows, d.Out)
+	if d.Out == 1 {
+		// Single-output layers (the discriminator head): the per-input axpy
+		// degenerates to length-1 calls, so the row product is DEFINED as
+		// one wide dot over the contiguous weight column instead —
+		// b + vdot(row, w), no zero-skip.
+		for i := 0; i < x.rows; i++ {
+			out.data[i] = d.b.Data[0] + vdot(x.Row(i), d.w.Data)
+		}
+		return out
+	}
 	for i := 0; i < x.rows; i++ {
 		row := x.Row(i)
 		o := out.Row(i)
@@ -121,10 +131,7 @@ func (d *Dense) ForwardT(x *Tensor, _ bool) *Tensor {
 			if v == 0 {
 				continue
 			}
-			wRow := d.w.Data[j*d.Out : (j+1)*d.Out]
-			for k, w := range wRow {
-				o[k] += v * w
-			}
+			axpy1(v, d.w.Data[j*d.Out:(j+1)*d.Out], o)
 		}
 	}
 	return out
@@ -143,23 +150,38 @@ func (d *Dense) BackwardT(gradOut *Tensor) *Tensor {
 		// must read as zero, as the allocating implementation guaranteed.
 		gradIn.ZeroReset(gradOut.rows, d.In)
 	}
+	if d.Out == 1 {
+		// Single-output layers: per-input vdot/axpy calls degenerate to
+		// length-1 overhead, so the row gradients are DEFINED as wide
+		// kernels over the contiguous weight column — gi = g0·w (vscale),
+		// gw += g0·in (axpy1, no zero-skip).
+		for i := 0; i < gradOut.rows; i++ {
+			g0 := gradOut.data[i]
+			in := d.input.Row(i)
+			// Slice to the live input width so the degenerate narrow-input
+			// case keeps its zero tail, like the generic path.
+			vscale(gradIn.Row(i)[:len(in)], d.w.Data[:len(in)], g0)
+			axpy1(g0, in, d.w.Grad[:len(in)])
+			d.b.Grad[0] += g0
+		}
+		return gradIn
+	}
 	for i := 0; i < gradOut.rows; i++ {
 		gRow := gradOut.Row(i)
 		in := d.input.Row(i)
 		gi := gradIn.Row(i)
 		for j, v := range in {
-			wRow := d.w.Data[j*d.Out : (j+1)*d.Out]
-			gwRow := d.w.Grad[j*d.Out : (j+1)*d.Out]
-			var s float64
-			for k, g := range gRow {
-				s += g * wRow[k]
-				gwRow[k] += g * v
+			// Input gradient: the fixed-lane dot defined by vdot — the
+			// bit-level reference for this layer (see refDenseBackward).
+			gi[j] = vdot(gRow, d.w.Data[j*d.Out:(j+1)*d.Out])
+			// Weight gradient: gw[k] += v*g[k]. Skipping v == 0 is
+			// bit-neutral — the accumulator starts at +0 and +0 + (±0) = +0,
+			// so it can never be -0 and adding a zero term never changes it.
+			if v != 0 {
+				axpy1(v, gRow, d.w.Grad[j*d.Out:(j+1)*d.Out])
 			}
-			gi[j] = s
 		}
-		for k, g := range gRow {
-			d.b.Grad[k] += g
-		}
+		vadd(d.b.Grad, gRow)
 	}
 	return gradIn
 }
@@ -167,9 +189,24 @@ func (d *Dense) BackwardT(gradOut *Tensor) *Tensor {
 // Params returns the layer's weight and bias.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
+// actKind tags the built-in activations so the hot paths can dispatch to
+// the vector kernels (and ShardedNet can clone an activation without
+// inspecting its closures).
+type actKind uint8
+
+const (
+	actGeneric actKind = iota // fn/deriv closures, elementwise scalar loop
+	actReLU
+	actLeakyReLU
+	actTanh
+	actSigmoid
+)
+
 // activation is shared machinery for elementwise activations.
 type activation struct {
-	fn    func(float64) float64
+	kind  actKind
+	alpha float64                    // leaky-ReLU negative slope
+	fn    func(float64) float64      // generic forward (non-kernel kinds)
 	deriv func(x, y float64) float64 // derivative given input x and output y
 
 	input  *Tensor
@@ -180,6 +217,13 @@ type activation struct {
 
 var _ TensorLayer = (*activation)(nil)
 
+// clone returns a fresh activation of the same kind with empty scratch,
+// sharing nothing with the receiver (activations are stateless between
+// batches apart from their caches).
+func (a *activation) clone() *activation {
+	return &activation{kind: a.kind, alpha: a.alpha, fn: a.fn, deriv: a.deriv}
+}
+
 func (a *activation) Forward(x [][]float64, train bool) [][]float64 {
 	return legacyForward(a, &a.legacy, x, train)
 }
@@ -187,8 +231,17 @@ func (a *activation) Forward(x [][]float64, train bool) [][]float64 {
 func (a *activation) ForwardT(x *Tensor, _ bool) *Tensor {
 	a.input = x
 	out := a.out.Reset(x.rows, x.cols)
-	for i, v := range x.data {
-		out.data[i] = a.fn(v)
+	switch a.kind {
+	case actReLU:
+		// Dedicated kernel: LeakyReLU with alpha=0 would turn negatives
+		// into -0 (0*x), not the +0 the scalar definition produces.
+		vreluFwd(out.data, x.data)
+	case actLeakyReLU:
+		vlreluFwd(out.data, x.data, a.alpha)
+	default:
+		for i, v := range x.data {
+			out.data[i] = a.fn(v)
+		}
 	}
 	return out
 }
@@ -199,8 +252,17 @@ func (a *activation) Backward(gradOut [][]float64) [][]float64 {
 
 func (a *activation) BackwardT(gradOut *Tensor) *Tensor {
 	gradIn := a.gradIn.Reset(gradOut.rows, gradOut.cols)
-	for i, g := range gradOut.data {
-		gradIn.data[i] = g * a.deriv(a.input.data[i], a.out.data[i])
+	switch a.kind {
+	case actReLU:
+		// g*(x<0 ? 0 : 1): multiplying by literal 0 matches the historical
+		// g*deriv scalar path bit for bit (keeps g's sign on the zero).
+		vlreluBwd(gradIn.data, gradOut.data, a.input.data, 0)
+	case actLeakyReLU:
+		vlreluBwd(gradIn.data, gradOut.data, a.input.data, a.alpha)
+	default:
+		for i, g := range gradOut.data {
+			gradIn.data[i] = g * a.deriv(a.input.data[i], a.out.data[i])
+		}
 	}
 	return gradIn
 }
@@ -209,43 +271,18 @@ func (a *activation) Params() []*Param { return nil }
 
 // NewReLU returns a rectified linear activation layer.
 func NewReLU() Layer {
-	return &activation{
-		fn: func(x float64) float64 {
-			if x < 0 {
-				return 0
-			}
-			return x
-		},
-		deriv: func(x, _ float64) float64 {
-			if x < 0 {
-				return 0
-			}
-			return 1
-		},
-	}
+	return &activation{kind: actReLU}
 }
 
 // NewLeakyReLU returns a leaky ReLU with the given negative slope.
 func NewLeakyReLU(alpha float64) Layer {
-	return &activation{
-		fn: func(x float64) float64 {
-			if x < 0 {
-				return alpha * x
-			}
-			return x
-		},
-		deriv: func(x, _ float64) float64 {
-			if x < 0 {
-				return alpha
-			}
-			return 1
-		},
-	}
+	return &activation{kind: actLeakyReLU, alpha: alpha}
 }
 
 // NewTanh returns a tanh activation layer.
 func NewTanh() Layer {
 	return &activation{
+		kind:  actTanh,
 		fn:    math.Tanh,
 		deriv: func(_, y float64) float64 { return 1 - y*y },
 	}
@@ -254,6 +291,7 @@ func NewTanh() Layer {
 // NewSigmoid returns a logistic activation layer.
 func NewSigmoid() Layer {
 	return &activation{
+		kind:  actSigmoid,
 		fn:    func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
 		deriv: func(_, y float64) float64 { return y * (1 - y) },
 	}

@@ -143,6 +143,56 @@ func MSET(pred, target *Tensor, grad *Tensor) (float64, error) {
 	return loss / count, nil
 }
 
+// BCEWithLogitsTN is the sharded-trainer form of BCEWithLogitsT: the
+// gradient is normalized by the caller's total (the FULL-batch row count,
+// not this shard's), and the returned loss is the raw, unnormalized sum of
+// the per-row loss terms, reduced with the fixed 4-lane vsum scheme.
+// Callers accumulate shard partials in shard-index order and divide by the
+// total once, which keeps the epoch loss independent of the worker count.
+// terms is caller scratch with len ≥ logits rows (per-row loss terms land
+// there before reduction so the function stays allocation free).
+func BCEWithLogitsTN(logits *Tensor, targets []float64, grad *Tensor, terms []float64, total float64) (float64, error) {
+	if logits.rows != len(targets) {
+		return 0, fmt.Errorf("nn: %d logit rows for %d targets", logits.rows, len(targets))
+	}
+	if logits.rows == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	if logits.cols != 1 {
+		return 0, fmt.Errorf("nn: BCE logit rows have %d values, want 1", logits.cols)
+	}
+	grad.Reset(logits.rows, 1)
+	terms = terms[:logits.rows]
+	for i := 0; i < logits.rows; i++ {
+		z := logits.data[i]
+		t := targets[i]
+		terms[i] = math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))
+		sig := 1 / (1 + math.Exp(-z))
+		grad.data[i] = (sig - t) / total
+	}
+	return vsum(terms), nil
+}
+
+// MSETN is the sharded-trainer form of MSET: the gradient is normalized by
+// the caller's total (the FULL-batch element count), and the returned loss
+// is the raw 4-lane sum of squared differences. See BCEWithLogitsTN for the
+// accumulation contract.
+func MSETN(pred, target, grad *Tensor, total float64) (float64, error) {
+	if pred.rows != target.rows {
+		return 0, fmt.Errorf("nn: %d predictions for %d targets", pred.rows, target.rows)
+	}
+	if pred.rows == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	if pred.cols != target.cols {
+		return 0, fmt.Errorf("nn: width mismatch %d vs %d", pred.cols, target.cols)
+	}
+	grad.Reset(pred.rows, pred.cols)
+	loss := vmse(grad.data, pred.data, target.data)
+	vdivs(grad.data, total)
+	return loss, nil
+}
+
 // MSE computes the mean squared error between prediction and target
 // batches, with gradient w.r.t. the predictions.
 func MSE(pred, target [][]float64) (float64, [][]float64, error) {

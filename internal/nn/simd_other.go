@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package nn
+
+// SetVectorKernels is a no-op off amd64: only the portable Go kernels
+// exist, they are always bound, and the previous state is always "scalar".
+func SetVectorKernels(on bool) bool {
+	return false
+}

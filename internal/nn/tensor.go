@@ -67,6 +67,16 @@ func (t *Tensor) Row(i int) []float64 {
 	return t.data[i*t.cols : (i+1)*t.cols]
 }
 
+// ViewRows points view at rows [lo, hi) of t without copying: the view
+// shares t's backing array. Shard trainers use it to hand each shard its
+// contiguous row range of a batch tensor with zero allocation. The view is
+// valid as long as t's backing array is (Reset on t may invalidate it).
+func (t *Tensor) ViewRows(lo, hi int, view *Tensor) *Tensor {
+	view.rows, view.cols = hi-lo, t.cols
+	view.data = t.data[lo*t.cols : hi*t.cols]
+	return view
+}
+
 // At returns element (i, j).
 func (t *Tensor) At(i, j int) float64 { return t.data[i*t.cols+j] }
 

@@ -28,8 +28,10 @@ func refDenseForward(w, b []float64, out int, x [][]float64) [][]float64 {
 	return y
 }
 
-// refDenseBackward is the pre-tensor allocating Dense backward: it returns
-// the input gradient and the weight/bias gradient accumulations.
+// refDenseBackward is the allocating reference for the Dense backward. The
+// input gradient uses the fixed 4-lane dot scheme (vdotGo) that defines the
+// layer's bit-level contract; weight/bias accumulations are the plain
+// sequential sums (bit-identical to the axpy/vadd kernels).
 func refDenseBackward(w []float64, in, out int, x, gradOut [][]float64) (gi [][]float64, gw, gb []float64) {
 	gw = make([]float64, in*out)
 	gb = make([]float64, out)
@@ -38,14 +40,11 @@ func refDenseBackward(w []float64, in, out int, x, gradOut [][]float64) (gi [][]
 		row := x[i]
 		g := make([]float64, in)
 		for j, v := range row {
-			wRow := w[j*out : (j+1)*out]
 			gwRow := gw[j*out : (j+1)*out]
-			var s float64
+			g[j] = vdotGo(gRow, w[j*out:(j+1)*out])
 			for k, gv := range gRow {
-				s += gv * wRow[k]
 				gwRow[k] += gv * v
 			}
-			g[j] = s
 		}
 		for k, gv := range gRow {
 			gb[k] += gv

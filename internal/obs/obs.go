@@ -19,6 +19,8 @@ const (
 	MetricDiscLoss          = "netdrift_train_disc_loss"       // histogram{model=...}
 	MetricTrainFits         = "netdrift_train_fits_total"      // counter{model=...}
 	MetricConvergedEpoch    = "netdrift_train_converged_epoch" // histogram{model=...}
+	MetricTrainShards       = "netdrift_train_shards_total"    // counter{model=...}
+	MetricTrainShardSeconds = "netdrift_train_shard_seconds"   // histogram{model=...}
 	MetricReconError        = "netdrift_reconstruction_rmse"   // histogram
 	// internal/monitor
 	MetricMonitorChecks = "netdrift_monitor_checks_total"
@@ -242,6 +244,21 @@ func (o *Observer) OnTrainDone(d TrainDone) {
 	}
 	if o.Train != nil {
 		o.Train.Done(d)
+	}
+}
+
+// OnTrainShard records one gradient-shard execution of a data-parallel
+// training step: its wall time and a shard counter. Metrics only — it is
+// deliberately NOT forwarded to the TrainHook, so hook event streams stay
+// bit-identical across worker counts (shard timings are timing-dependent;
+// hook streams are part of the determinism contract).
+func (o *Observer) OnTrainShard(model string, seconds float64) {
+	if o == nil {
+		return
+	}
+	if r := o.Registry; r != nil {
+		r.Counter(MetricTrainShards, "model", model).Inc()
+		r.Histogram(MetricTrainShardSeconds, "model", model).Observe(seconds)
 	}
 }
 

@@ -62,9 +62,21 @@ func (p TaskPanic) String() string {
 
 // ForEach runs fn(i) for every i in [0, n) using up to workers goroutines
 // (workers <= 0 means GOMAXPROCS). With a resolved worker count of 1 the
-// calls happen in index order in the calling goroutine. Task panics from
-// worker goroutines are re-raised in the caller as a TaskPanic.
+// calls happen in index order in the calling goroutine — and, unlike the
+// error-collecting variant, without wrapping fn, so a stable fn value makes
+// the sequential path allocation-free (the gradient-shard training loops
+// rely on this for their steady-state budgets). Task panics from worker
+// goroutines are re-raised in the caller as a TaskPanic.
 func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if w := Resolve(workers); w == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	_ = ForEachErr(workers, n, func(i int) error {
 		fn(i)
 		return nil
@@ -153,6 +165,62 @@ func ForEachErr(workers, n int, fn func(i int) error) error {
 		panic(TaskPanic{Index: panIdx, Value: panVal})
 	}
 	return firstErr
+}
+
+// ShardBounds computes the fixed minibatch shard boundaries used by the
+// data-parallel training loops: len(result)-1 contiguous shards over [0, n),
+// shard s covering [result[s], result[s+1]).
+//
+// The shard count is a pure function of the CONFIGURED shard count and the
+// input size — never of the worker pool, GOMAXPROCS, or the WorkersFor
+// small-input threshold — so the shard shape (and therefore every gradient
+// bit) is identical no matter how many workers execute the shards. The
+// effective count is min(shards, n/minRows) clamped to at least 1: minRows
+// keeps every shard large enough for per-shard batch statistics (BatchNorm
+// needs >= 2 rows to stay on its training path). Boundaries follow the same
+// s*n/eff rule as Blocks, reusing buf when it has capacity.
+func ShardBounds(buf []int, n, shards, minRows int) []int {
+	eff := shards
+	if minRows > 0 && eff > n/minRows {
+		eff = n / minRows
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	if cap(buf) < eff+1 {
+		buf = make([]int, eff+1)
+	}
+	buf = buf[:eff+1]
+	for s := 0; s <= eff; s++ {
+		buf[s] = s * n / eff
+	}
+	return buf
+}
+
+// TreeReduce merges n slots pairwise with a fixed-shape binary tree,
+// leaving the combined result in slot 0. At stride d (1, 2, 4, ...) every
+// slot i with i%(2d) == 0 and i+d < n absorbs slot i+d via combine(i, i+d).
+// The combine ORDER depends only on n: levels run strictly one after
+// another (each level's ForEach is a barrier), and within a level the pairs
+// touch disjoint slots, so elementwise combines produce bit-identical
+// results for every worker count — the gradient-merge half of the training
+// determinism contract (DESIGN.md §5). With a resolved worker count of 1
+// the combines run sequentially in index order with no goroutines and no
+// per-call allocations (given a stable combine value).
+func TreeReduce(workers, n int, combine func(dst, src int)) {
+	workers = Resolve(workers)
+	for stride := 1; stride < n; stride *= 2 {
+		step := 2 * stride
+		pairs := (n - stride + step - 1) / step
+		if workers == 1 || pairs == 1 {
+			for p := 0; p < pairs; p++ {
+				combine(p*step, p*step+stride)
+			}
+			continue
+		}
+		d := stride
+		ForEach(workers, pairs, func(p int) { combine(p*2*d, p*2*d+d) })
+	}
 }
 
 // Blocks partitions [0, n) into at most workers near-equal contiguous

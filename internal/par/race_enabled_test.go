@@ -1,0 +1,7 @@
+//go:build race
+
+package par
+
+// raceEnabled lets allocation-budget tests skip themselves: allocation
+// accounting is not meaningful under the race detector's instrumentation.
+const raceEnabled = true

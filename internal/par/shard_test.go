@@ -1,0 +1,140 @@
+package par
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestShardBoundsWorkerIndependence pins the property the training
+// determinism contract rests on: shard boundaries are a pure function of
+// (n, shards, minRows). Neither the worker pool size nor GOMAXPROCS nor the
+// WorkersFor small-input threshold may influence them — WorkersFor degrades
+// POOL sizes on small inputs, and that degradation must never leak into the
+// shard SHAPE.
+func TestShardBoundsWorkerIndependence(t *testing.T) {
+	cases := []struct{ n, shards, minRows int }{
+		{64, 8, 2}, {64, 7, 2}, {5, 8, 2}, {3, 8, 2}, {1, 8, 2},
+		{2, 8, 2}, {100, 3, 2}, {17, 4, 2}, {16, 16, 2}, {33, 8, 0},
+	}
+	for _, tc := range cases {
+		want := ShardBounds(nil, tc.n, tc.shards, tc.minRows)
+		// The boundaries must be identical under every simulated pool size,
+		// including pools WorkersFor would have degraded to 1.
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			_ = WorkersFor(workers, int64(tc.n)) // tiny work: degrades to 1
+			got := ShardBounds(nil, tc.n, tc.shards, tc.minRows)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d shards=%d: bounds changed across worker counts: %v vs %v",
+					tc.n, tc.shards, got, want)
+			}
+		}
+		prev := runtime.GOMAXPROCS(2)
+		got := ShardBounds(nil, tc.n, tc.shards, tc.minRows)
+		runtime.GOMAXPROCS(prev)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d shards=%d: bounds changed with GOMAXPROCS", tc.n, tc.shards)
+		}
+	}
+}
+
+// TestShardBoundsShape checks the boundary rule and the minRows clamp.
+func TestShardBoundsShape(t *testing.T) {
+	b := ShardBounds(nil, 64, 8, 2)
+	if len(b) != 9 || b[0] != 0 || b[8] != 64 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for s := 0; s < 8; s++ {
+		if b[s+1]-b[s] != 8 {
+			t.Fatalf("uneven shard %d in %v", s, b)
+		}
+	}
+	// 5 rows with minRows=2 supports only 2 shards.
+	b = ShardBounds(b, 5, 8, 2)
+	if want := []int{0, 2, 5}; !reflect.DeepEqual(b, want) {
+		t.Fatalf("bounds = %v, want %v", b, want)
+	}
+	// Never fewer than one shard.
+	b = ShardBounds(b, 1, 8, 2)
+	if want := []int{0, 1}; !reflect.DeepEqual(b, want) {
+		t.Fatalf("bounds = %v, want %v", b, want)
+	}
+	// Buffer reuse: no regrow when capacity suffices.
+	big := make([]int, 0, 32)
+	out := ShardBounds(big, 10, 4, 2)
+	if &out[:1][0] != &big[:1][0] {
+		t.Fatal("ShardBounds reallocated despite sufficient capacity")
+	}
+}
+
+// TestTreeReduceShape pins the fixed combine schedule: the (dst, src) pairs
+// and their level order depend only on the slot count.
+func TestTreeReduceShape(t *testing.T) {
+	var got [][2]int
+	TreeReduce(1, 5, func(dst, src int) { got = append(got, [2]int{dst, src}) })
+	want := [][2]int{{0, 1}, {2, 3}, {0, 2}, {0, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("combine schedule %v, want %v", got, want)
+	}
+	got = nil
+	TreeReduce(1, 1, func(dst, src int) { got = append(got, [2]int{dst, src}) })
+	if len(got) != 0 {
+		t.Fatalf("single slot should not combine, got %v", got)
+	}
+}
+
+// TestTreeReduceWorkerInvariance runs elementwise vector merges at several
+// worker counts and slot counts; every run must produce bit-identical
+// results in slot 0 and an identical multiset of combines.
+func TestTreeReduceWorkerInvariance(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33} {
+		var want []float64
+		for _, workers := range []int{1, 2, 3, 8} {
+			slots := make([][]float64, n)
+			for s := range slots {
+				slots[s] = make([]float64, 17)
+				for j := range slots[s] {
+					slots[s][j] = float64(s*31+j) * 1.0000001
+				}
+			}
+			var mu sync.Mutex
+			seen := make(map[[2]int]bool)
+			TreeReduce(workers, n, func(dst, src int) {
+				mu.Lock()
+				seen[[2]int{dst, src}] = true
+				mu.Unlock()
+				for j := range slots[dst] {
+					slots[dst][j] += slots[src][j]
+				}
+			})
+			if len(seen) != n-1 {
+				t.Fatalf("n=%d workers=%d: %d combines, want %d", n, workers, len(seen), n-1)
+			}
+			if workers == 1 {
+				want = append([]float64(nil), slots[0]...)
+				continue
+			}
+			if !reflect.DeepEqual(slots[0], want) {
+				t.Fatalf("n=%d workers=%d: merged result differs from workers=1", n, workers)
+			}
+		}
+	}
+}
+
+// TestTreeReduceSequentialAllocs pins the Workers=1 fast path: with a
+// stable combine value, reducing allocates nothing — the property the
+// per-epoch allocation budgets of the sharded trainers depend on.
+func TestTreeReduceSequentialAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	sink := 0
+	combine := func(dst, src int) { sink += dst + src }
+	if avg := testing.AllocsPerRun(100, func() { TreeReduce(1, 8, combine) }); avg > 0 {
+		t.Errorf("sequential TreeReduce allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { ForEach(1, 8, func(int) {}) }); avg > 0.5 {
+		t.Errorf("sequential ForEach allocates %.2f/op", avg)
+	}
+}
