@@ -31,13 +31,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"netdrift/internal/core"
+	"netdrift/internal/ctrl"
+	"netdrift/internal/dataset"
 	"netdrift/internal/experiments"
 	"netdrift/internal/fault"
 	"netdrift/internal/models"
+	"netdrift/internal/monitor"
 	"netdrift/internal/obs"
 	"netdrift/internal/serve"
 )
@@ -92,6 +96,15 @@ type config struct {
 	RowsPerReq int
 	BenchOut   string
 	Codec      string
+
+	// Drift-controller knobs (-ctrl serving mode and -ctrlcheck).
+	Ctrl           bool
+	CtrlWindow     int
+	CtrlCooldown   time.Duration
+	CtrlMargin     float64
+	CtrlWatch      time.Duration
+	CtrlBundleDir  string
+	CtrlCheckpoint string
 }
 
 // breakerConfig maps the CLI knobs onto a serve.BreakerConfig.
@@ -112,6 +125,9 @@ func (c config) faultInjector() (*fault.Injector, error) {
 	}
 	plan, err := fault.ParsePlan(c.FaultPlan)
 	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	if err := fault.ValidatePlan(plan); err != nil {
 		return nil, fmt.Errorf("-faults: %w", err)
 	}
 	inj := fault.New(c.Seed)
@@ -159,13 +175,22 @@ func run(args []string, out io.Writer) error {
 
 		obsdump = fs.String("obsdump", "", "pretty-print a flight-recorder snapshot file and exit")
 
+		ctrlOn         = fs.Bool("ctrl", false, "run the closed-loop drift controller alongside serving (POST telemetry to /v1/ingest)")
+		ctrlcheck      = fs.Bool("ctrlcheck", false, "run the closed-loop drift-response acceptance check (drift storm -> refit -> gate -> hot-swap -> rollback -> resume) and exit non-zero on any violation")
+		ctrlWindow     = fs.Int("ctrl-window", 64, "drift-check sliding window in telemetry rows")
+		ctrlCooldown   = fs.Duration("ctrl-cooldown", 30*time.Second, "minimum pause between drift-response campaigns")
+		ctrlMargin     = fs.Float64("ctrl-margin", 1.0, "macro-F1 points a refit candidate must beat the incumbent by at the shadow gate")
+		ctrlWatch      = fs.Duration("ctrl-watch", 2*time.Minute, "how long a promotion stays under the rollback watchdog")
+		ctrlBundleDir  = fs.String("ctrl-bundledir", ".", "directory promoted bundle files are written to")
+		ctrlCheckpoint = fs.String("ctrl-checkpoint", "", "controller checkpoint file for crash-safe resume (empty = no checkpointing)")
+
 		trace      = fs.String("trace", "", `span sink: write one JSON line per finished span to this file ("-" = stdout; empty = tracing off, the zero-allocation path)`)
 		flightCap  = fs.Int("flightrec-cap", obs.DefaultFlightCapacity, "flight-recorder ring capacity in events (0 = recorder off)")
 		flightSnap = fs.String("flightrec-snap", "flightrec.json", "file the flight ring is auto-snapshotted to on incidents (executor panic, breaker open); empty disarms")
 		sloLatency = fs.Duration("slo-latency", 250*time.Millisecond, "SLO latency objective: slower successful requests burn the error budget")
 		sloAvail   = fs.Float64("slo-availability", 0.999, "SLO availability objective in (0,1); the error budget is 1-availability")
 
-		faults            = fs.String("faults", "", `deterministic fault plan, e.g. "batch.exec:err=0.2,panic=0.05,slow=1ms@0.3;http.adapt:err=0.1" (sites: bundle.load, batch.exec, http.adapt)`)
+		faults            = fs.String("faults", "", `deterministic fault plan, e.g. "batch.exec:err=0.2,panic=0.05,slow=1ms@0.3;http.adapt:err=0.1" (sites: `+strings.Join(fault.KnownSites(), ", ")+`)`)
 		maxQueue          = fs.Int("max-queue", 4096, "admission queue bound in rows; excess load is shed with 429")
 		requestTimeout    = fs.Duration("request-timeout", 0, "per-request deadline applied by the server (0 = none)")
 		breakerThreshold  = fs.Int("breaker-threshold", 3, "consecutive failures that trip a circuit breaker open")
@@ -191,6 +216,9 @@ func run(args []string, out io.Writer) error {
 		Format: *format, Convert: *convert,
 		Conns: *conns, Duration: *duration, RowsPerReq: *rowsPerReq, BenchOut: *benchOut,
 		Codec: *codec,
+		Ctrl:  *ctrlOn, CtrlWindow: *ctrlWindow, CtrlCooldown: *ctrlCooldown,
+		CtrlMargin: *ctrlMargin, CtrlWatch: *ctrlWatch,
+		CtrlBundleDir: *ctrlBundleDir, CtrlCheckpoint: *ctrlCheckpoint,
 	}
 	if cfg.Format != string(serve.FormatJSON) && cfg.Format != string(serve.FormatBinary) {
 		return fmt.Errorf("unknown -format %q (want json or binary)", cfg.Format)
@@ -211,6 +239,8 @@ func run(args []string, out io.Writer) error {
 		return runLoadgen(out, cfg)
 	case *chaoscheck:
 		return runChaosCheck(out, cfg)
+	case *ctrlcheck:
+		return runCtrlCheck(out, cfg)
 	default:
 		return runServe(out, cfg)
 	}
@@ -343,6 +373,54 @@ func buildStack(cfg config) (*obs.Observer, *serve.Registry, *serve.Coalescer, *
 	return o, reg, co, srv, inj, nil
 }
 
+// buildCtrl assembles the closed-loop drift controller for -ctrl serving
+// mode: detector fitted on the source domain, held-out target-test rows as
+// the shadow gate's probe set, and the paper's FS+GAN refit (classifier
+// carried forward, never retrained). Telemetry arrives via POST /v1/ingest.
+func buildCtrl(cfg config, o *obs.Observer, reg *serve.Registry, srv *serve.Server, inj *fault.Injector) (*ctrl.Controller, error) {
+	pair, err := experiments.MakePair(cfg.Dataset, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	det := monitor.New(monitor.Config{})
+	if err := det.Fit(pair.Source.X); err != nil {
+		return nil, fmt.Errorf("fit drift detector: %w", err)
+	}
+	probe := pair.TargetTest
+	if len(probe.X) > 256 {
+		probe = &dataset.Dataset{X: probe.X[:256], Y: probe.Y[:256]}
+	}
+	refit := func(ctx context.Context, shots *dataset.Dataset, epoch int) (*ctrl.Candidate, error) {
+		ad := core.NewAdapter(core.AdapterConfig{
+			Mode:  core.ModeFSRecon,
+			Recon: core.ReconGAN,
+			GAN:   core.GANConfig{Epochs: cfg.Scale.GANEpochs},
+			Seed:  cfg.Seed + int64(epoch),
+		})
+		if err := ad.Fit(pair.Source, shots); err != nil {
+			return nil, err
+		}
+		return &ctrl.Candidate{ID: fmt.Sprintf("refit-epoch%d", epoch), Adapter: ad}, nil
+	}
+	c, err := ctrl.New(ctrl.Config{
+		Detector: det, Registry: reg, Refit: refit,
+		Probe: probe, NumClasses: pair.NumClasses,
+		WindowSize: cfg.CtrlWindow, Cooldown: cfg.CtrlCooldown,
+		ShotsPerClass: cfg.Shots, MinWinMargin: cfg.CtrlMargin,
+		BundleDir: cfg.CtrlBundleDir, BundleFormat: serve.BundleFormat(cfg.Format),
+		InitialBundlePath: cfg.Bundle,
+		SLO:               srv.SLOSet(), WatchFor: cfg.CtrlWatch,
+		CheckpointPath: cfg.CtrlCheckpoint,
+		Seed:           cfg.Seed, Faults: inj, Obs: o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.SetIngest(c)
+	srv.SetCtrlStatus(func() any { return c.Status() })
+	return c, nil
+}
+
 // runObsDump pretty-prints a flight-recorder snapshot file (written by
 // /debug/flightrec, an incident auto-snapshot, or a chaoscheck failure) as
 // a human-readable timeline.
@@ -376,7 +454,7 @@ func runObsDump(out io.Writer, path string) error {
 // runServe loads the bundle and serves until SIGTERM/SIGINT, then drains
 // in-flight requests for up to -drain-timeout before exiting.
 func runServe(out io.Writer, cfg config) error {
-	_, reg, co, handler, inj, err := buildStack(cfg)
+	o, reg, co, handler, inj, err := buildStack(cfg)
 	if err != nil {
 		return err
 	}
@@ -384,6 +462,16 @@ func runServe(out io.Writer, cfg config) error {
 	b, err := reg.LoadFile(cfg.Bundle)
 	if err != nil {
 		return err
+	}
+	if cfg.Ctrl {
+		dc, err := buildCtrl(cfg, o, reg, handler, inj)
+		if err != nil {
+			return err
+		}
+		dc.Start()
+		defer dc.Close()
+		fmt.Fprintf(out, "drift controller armed: window %d, cooldown %s, watch %s, margin %.1f F1 pts (telemetry -> POST %s)\n",
+			cfg.CtrlWindow, cfg.CtrlCooldown, cfg.CtrlWatch, cfg.CtrlMargin, serve.EndpointIngest)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

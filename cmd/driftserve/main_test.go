@@ -379,3 +379,40 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("expected missing bundle error")
 	}
 }
+
+// TestCtrlCheck runs the closed-loop drift-response acceptance mode end to
+// end: detect -> refit -> gate -> hot-swap -> chaos -> rollback -> resume.
+func TestCtrlCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ctrlcheck fits real adapters; skipped in -short")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-ctrlcheck", "-dataset", "5gc", "-scale", "quick", "-seed", "1",
+		"-shots", "10", "-rows-per-req", "4",
+		"-flightrec-snap", filepath.Join(t.TempDir(), "flightrec.json"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("ctrlcheck: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "ctrlcheck: PASS phases=A,B,C,D,E") {
+		t.Errorf("missing full-phase PASS verdict:\n%s", text)
+	}
+	if !strings.Contains(text, "netdrift_ctrl_drift_to_recovery_seconds") {
+		t.Errorf("drift-to-recovery metric not scraped from /metrics:\n%s", text)
+	}
+}
+
+// TestFaultPlanUnknownSite: a typo'd chaos site must be rejected up front
+// with the known-site list, not silently armed as a no-op.
+func TestFaultPlanUnknownSite(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-chaoscheck", "-faults", "bundel.load:err=1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bundel.load") {
+		t.Fatalf("unknown site error = %v, want it named", err)
+	}
+	if !strings.Contains(err.Error(), "ctrl.refit") {
+		t.Errorf("error should list known sites (ctrl.refit among them): %v", err)
+	}
+}

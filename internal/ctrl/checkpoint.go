@@ -1,0 +1,166 @@
+package ctrl
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"netdrift/internal/binenc"
+)
+
+// Checkpoint wire format (NDCC, "NetDrift Ctrl Checkpoint"): the same
+// shape as the NDBF bundle format — magic, version, then one
+// length-prefixed CRC-32-guarded section — so a truncated or bit-rotted
+// file fails loudly instead of resurrecting a corrupt controller. The file
+// is always written to <path>.tmp, fsynced, and renamed into place, so a
+// crash mid-write leaves the previous checkpoint intact.
+//
+//	"NDCC" | u16 version | u32 payloadLen | u32 crc32(payload) | payload
+//
+// payload:
+//
+//	u32 epoch
+//	i64 cooldownUntil (unix nanos; 0 = none)
+//	str incumbentPath    (u16 length prefix)
+//	str promotedPath
+//	f64 lastRecoverySeconds
+//	u32 classes, then per class:
+//	  i64 label | u64 seen | u32 rows | u32 width | rows*width raw f64
+const (
+	checkpointMagic   = "NDCC"
+	checkpointVersion = 1
+)
+
+var (
+	// ErrCheckpointMagic is returned when the file is not an NDCC checkpoint.
+	ErrCheckpointMagic = errors.New("ctrl: bad checkpoint magic")
+	// ErrCheckpointChecksum is returned when the payload CRC does not match.
+	ErrCheckpointChecksum = errors.New("ctrl: checkpoint checksum mismatch")
+)
+
+// checkpointState is the persisted controller state: enough to resume
+// after a crash without re-triggering the refit that was already promoted
+// (epoch + promoted path) and without losing the accumulated shots
+// (reservoir). The in-flight campaign itself is NOT persisted — a crash
+// mid-refit resumes idle and lets the next drift verdict start over.
+type checkpointState struct {
+	epoch           int
+	cooldownUntil   int64 // unix nanos
+	incumbentPath   string
+	promotedPath    string
+	lastRecoverySec float64
+	classes         []classReservoir
+}
+
+func encodeCheckpoint(st *checkpointState) []byte {
+	payload := binenc.AppendU32(nil, uint32(st.epoch))
+	payload = binenc.AppendI64(payload, st.cooldownUntil)
+	payload = binenc.AppendString(payload, st.incumbentPath)
+	payload = binenc.AppendString(payload, st.promotedPath)
+	payload = binenc.AppendF64(payload, st.lastRecoverySec)
+	payload = binenc.AppendU32(payload, uint32(len(st.classes)))
+	for _, cr := range st.classes {
+		payload = binenc.AppendI64(payload, int64(cr.label))
+		payload = binenc.AppendU64(payload, cr.seen)
+		payload = binenc.AppendU32(payload, uint32(len(cr.rows)))
+		width := 0
+		if len(cr.rows) > 0 {
+			width = len(cr.rows[0])
+		}
+		payload = binenc.AppendU32(payload, uint32(width))
+		for _, row := range cr.rows {
+			payload = binenc.AppendF64sRaw(payload, row)
+		}
+	}
+	blob := []byte(checkpointMagic)
+	blob = binenc.AppendU16(blob, checkpointVersion)
+	blob = binenc.AppendU32(blob, uint32(len(payload)))
+	blob = binenc.AppendU32(blob, crc32.ChecksumIEEE(payload))
+	return append(blob, payload...)
+}
+
+func decodeCheckpoint(data []byte) (*checkpointState, error) {
+	if len(data) < 4 || string(data[:4]) != checkpointMagic {
+		return nil, ErrCheckpointMagic
+	}
+	r := binenc.NewReader(data[4:])
+	if v := r.U16(); r.Err() == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("ctrl: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	n := int(r.U32())
+	sum := r.U32()
+	payload := r.Bytes(n)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ctrl: checkpoint truncated: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, ErrCheckpointChecksum
+	}
+	p := binenc.NewReader(payload)
+	st := &checkpointState{
+		epoch:         int(p.U32()),
+		cooldownUntil: p.I64(),
+		incumbentPath: p.String(),
+	}
+	st.promotedPath = p.String()
+	st.lastRecoverySec = p.F64()
+	classes := p.Count(8 + 8 + 4 + 4)
+	for i := 0; i < classes; i++ {
+		cr := classReservoir{label: int(p.I64()), seen: p.U64()}
+		rows := int(p.U32())
+		width := int(p.U32())
+		if p.Err() != nil {
+			break
+		}
+		for k := 0; k < rows; k++ {
+			row := make([]float64, width)
+			p.F64sInto(row)
+			cr.rows = append(cr.rows, row)
+		}
+		st.classes = append(st.classes, cr)
+	}
+	if err := p.Err(); err != nil {
+		return nil, fmt.Errorf("ctrl: checkpoint payload: %w", err)
+	}
+	return st, nil
+}
+
+// writeCheckpointFile atomically replaces path with blob: write to
+// <path>.tmp, fsync, rename. A crash at any point leaves either the old
+// complete checkpoint or the new complete one, never a torn file.
+func writeCheckpointFile(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpointFile reads and verifies a checkpoint. A missing file
+// returns (nil, nil): first boot is not an error.
+func loadCheckpointFile(path string) (*checkpointState, error) {
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(blob)
+}

@@ -1,0 +1,118 @@
+package ctrl
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleState() *checkpointState {
+	return &checkpointState{
+		epoch:           3,
+		cooldownUntil:   1723100000123456789,
+		incumbentPath:   "bundles/bundle-epoch000002.ndbf",
+		promotedPath:    "bundles/bundle-epoch000003.ndbf",
+		lastRecoverySec: 4.25,
+		classes: []classReservoir{
+			{label: 0, seen: 40, rows: [][]float64{{1, 2, 3}, {4, 5, 6}}},
+			{label: 1, seen: 7, rows: [][]float64{{-1.5, 0, 2.25}}},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := sampleState()
+	got, err := decodeCheckpoint(encodeCheckpoint(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	blob := encodeCheckpoint(sampleState())
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[len(bad)-1] ^= 0x40
+		if _, err := decodeCheckpoint(bad); !errors.Is(err, ErrCheckpointChecksum) {
+			t.Fatalf("err = %v, want ErrCheckpointChecksum", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] = 'X'
+		if _, err := decodeCheckpoint(bad); !errors.Is(err, ErrCheckpointMagic) {
+			t.Fatalf("err = %v, want ErrCheckpointMagic", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 3, len(blob) / 2, len(blob) - 1} {
+			if _, err := decodeCheckpoint(blob[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes decoded cleanly", n)
+			}
+		}
+	})
+}
+
+func TestCheckpointFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ctrl.ckpt")
+	if err := writeCheckpointFile(path, encodeCheckpoint(sampleState())); err != nil {
+		t.Fatal(err)
+	}
+	// No .tmp residue after a successful rename.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf(".tmp residue: %v", err)
+	}
+	st, err := loadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.epoch != 3 {
+		t.Fatalf("loaded state = %+v", st)
+	}
+	// Missing file is a clean cold start, not an error.
+	st, err = loadCheckpointFile(filepath.Join(dir, "absent.ckpt"))
+	if err != nil || st != nil {
+		t.Fatalf("missing file: st=%v err=%v, want nil/nil", st, err)
+	}
+	// A corrupt file on disk surfaces the decode error.
+	if err := os.WriteFile(path, []byte("NDCCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCheckpointFile(path); err == nil {
+		t.Fatal("corrupt checkpoint file loaded cleanly")
+	}
+}
+
+func TestReservoirBoundedAndDeterministic(t *testing.T) {
+	build := func() *reservoir {
+		r := newReservoir(4, 42)
+		for i := 0; i < 100; i++ {
+			r.add([]float64{float64(i)}, i%3)
+		}
+		return r
+	}
+	a, b := build(), build()
+	if a.totalRows() != 12 {
+		t.Fatalf("total rows = %d, want 12 (4 per class x 3 classes)", a.totalRows())
+	}
+	if a.minClassCount() != 4 {
+		t.Fatalf("min class count = %d, want 4", a.minClassCount())
+	}
+	da, db := a.snapshot(), b.snapshot()
+	if !reflect.DeepEqual(da.X, db.X) || !reflect.DeepEqual(da.Y, db.Y) {
+		t.Fatal("same seed + same stream must sample identically")
+	}
+	// Snapshot rows are deep copies: mutating them must not corrupt the
+	// reservoir's retained shots.
+	da.X[0][0] = 1e9
+	if a.snapshot().X[0][0] == 1e9 {
+		t.Fatal("snapshot aliases reservoir storage")
+	}
+}

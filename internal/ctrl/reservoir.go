@@ -1,0 +1,101 @@
+package ctrl
+
+import (
+	"math/rand"
+	"sort"
+
+	"netdrift/internal/dataset"
+)
+
+// classReservoir holds the retained shots for one class label.
+type classReservoir struct {
+	label int
+	seen  uint64
+	rows  [][]float64
+}
+
+// reservoir keeps a bounded, per-class uniform sample of the labelled
+// target-domain rows seen so far (Vitter's Algorithm R per class). Bounding
+// per class rather than globally mirrors the paper's few-shot protocol: a
+// refit wants a handful of shots from EVERY class, and a global reservoir
+// under class imbalance would starve the rare ones. All randomness comes
+// from one seeded RNG, so a replayed ingest stream reproduces the same
+// sample. Not goroutine-safe; the controller serializes access.
+type reservoir struct {
+	capPerClass int
+	rng         *rand.Rand
+	byLabel     map[int]*classReservoir
+}
+
+func newReservoir(capPerClass int, seed int64) *reservoir {
+	return &reservoir{
+		capPerClass: capPerClass,
+		rng:         rand.New(rand.NewSource(seed)),
+		byLabel:     make(map[int]*classReservoir),
+	}
+}
+
+// add offers one labelled row (copied; the caller keeps ownership).
+func (r *reservoir) add(row []float64, label int) {
+	cr := r.byLabel[label]
+	if cr == nil {
+		cr = &classReservoir{label: label}
+		r.byLabel[label] = cr
+	}
+	cr.seen++
+	if len(cr.rows) < r.capPerClass {
+		cr.rows = append(cr.rows, append([]float64(nil), row...))
+		return
+	}
+	if j := r.rng.Int63n(int64(cr.seen)); int(j) < r.capPerClass {
+		cr.rows[j] = append(cr.rows[j][:0], row...)
+	}
+}
+
+// totalRows counts the retained shots across classes.
+func (r *reservoir) totalRows() int {
+	n := 0
+	for _, cr := range r.byLabel {
+		n += len(cr.rows)
+	}
+	return n
+}
+
+// minClassCount returns the smallest per-class retained count (0 when the
+// reservoir is empty) — the few-shot floor the refit trigger checks.
+func (r *reservoir) minClassCount() int {
+	minCount := 0
+	first := true
+	for _, cr := range r.byLabel {
+		if first || len(cr.rows) < minCount {
+			minCount = len(cr.rows)
+			first = false
+		}
+	}
+	return minCount
+}
+
+// labels returns the class labels present, ascending.
+func (r *reservoir) labels() []int {
+	out := make([]int, 0, len(r.byLabel))
+	for l := range r.byLabel {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// snapshot returns the retained shots as a Dataset in deterministic order
+// (labels ascending, rows in slot order), deep-copied so the caller can use
+// it outside the controller's lock.
+func (r *reservoir) snapshot() *dataset.Dataset {
+	d := &dataset.Dataset{}
+	for _, label := range r.labels() {
+		cr := r.byLabel[label]
+		for _, row := range cr.rows {
+			d.X = append(d.X, append([]float64(nil), row...))
+			d.Y = append(d.Y, label)
+		}
+	}
+	return d
+}

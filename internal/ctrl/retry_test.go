@@ -1,0 +1,98 @@
+package ctrl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffDoublesWithinJitterBounds(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 5, BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := cfg.BaseBackoff << (attempt - 1)
+		if base > cfg.MaxBackoff {
+			base = cfg.MaxBackoff
+		}
+		for trial := 0; trial < 50; trial++ {
+			w := cfg.backoff(attempt, rng)
+			lo, hi := base/2, base+base/2
+			if w < lo || w >= hi {
+				t.Fatalf("attempt %d: backoff %s outside [%s, %s)", attempt, w, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	var calls, retries int
+	err := retryDo(context.Background(), cfg, rand.New(rand.NewSource(2)), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, func(n int, err error, wait time.Duration) { retries++ })
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d, want nil/3/2", err, calls, retries)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	sentinel := errors.New("permanent")
+	var calls int
+	err := retryDo(context.Background(), cfg, rand.New(rand.NewSource(3)), func(ctx context.Context) error {
+		calls++
+		return sentinel
+	}, nil)
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want sentinel after 3 attempts", err, calls)
+	}
+}
+
+func TestRetryAttemptTimeout(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond, AttemptTimeout: 10 * time.Millisecond}
+	release := make(chan struct{})
+	defer close(release)
+	err := retryDo(context.Background(), cfg, rand.New(rand.NewSource(4)), func(ctx context.Context) error {
+		<-release // hangs past every attempt timeout
+		return nil
+	}, nil)
+	if !errors.Is(err, errAttemptTimeout) {
+		t.Fatalf("err = %v, want errAttemptTimeout", err)
+	}
+}
+
+func TestRetryContainsPanics(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	var calls int
+	err := retryDo(context.Background(), cfg, rand.New(rand.NewSource(5)), func(ctx context.Context) error {
+		calls++
+		panic("chaos")
+	}, nil)
+	if err == nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d, want contained panic error after both attempts", err, calls)
+	}
+}
+
+func TestRetryHonorsCancelledContext(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	start := time.Now()
+	err := retryDo(ctx, cfg, rand.New(rand.NewSource(6)), func(c context.Context) error {
+		calls++
+		cancel() // cancel mid-flight: the backoff wait must abort
+		return errors.New("fail")
+	}, nil)
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want abort after first attempt", err, calls)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled retry took %s — backoff did not abort", elapsed)
+	}
+}

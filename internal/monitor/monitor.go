@@ -20,6 +20,34 @@ import (
 // ErrNotFitted is returned when the detector is used before Fit.
 var ErrNotFitted = errors.New("monitor: detector not fitted")
 
+// ErrRowWidth is wrapped by Fit and Check when a row's feature count does
+// not match the fitted reference width (narrower or wider). Callers
+// distinguish malformed telemetry from detector misuse with errors.Is.
+var ErrRowWidth = errors.New("monitor: row width mismatch")
+
+// ErrNonFinite is wrapped by Fit and Check when a value is NaN or ±Inf.
+// NaN does not order, so letting one into the sorted empirical CDFs or
+// PSI bins would silently corrupt every statistic in the window; the
+// boundary rejects it instead.
+var ErrNonFinite = errors.New("monitor: non-finite value")
+
+// validateRows rejects ragged and non-finite rows before any statistic
+// touches them. what names the input ("reference" or "window") in errors.
+func validateRows(rows [][]float64, width int, what string) error {
+	for i, row := range rows {
+		if len(row) != width {
+			return fmt.Errorf("%w: %s row %d has %d features, want %d",
+				ErrRowWidth, what, i, len(row), width)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: %s row %d, feature %d", ErrNonFinite, what, i, j)
+			}
+		}
+	}
+	return nil
+}
+
 // Config tunes the drift detector.
 //
 // Zero values select the documented defaults. To switch a check off
@@ -90,15 +118,15 @@ func (d *Detector) Fit(reference [][]float64) error {
 	if width == 0 {
 		return errors.New("monitor: zero-width reference rows")
 	}
+	if err := validateRows(reference, width, "reference"); err != nil {
+		return err
+	}
 	d.refSorted = make([][]float64, width)
 	d.binEdges = make([][]float64, width)
 	d.refProps = make([][]float64, width)
 	col := make([]float64, len(reference))
 	for j := 0; j < width; j++ {
 		for i, row := range reference {
-			if len(row) != width {
-				return fmt.Errorf("monitor: ragged reference row %d", i)
-			}
 			col[i] = row[j]
 		}
 		sorted := append([]float64(nil), col...)
@@ -119,6 +147,11 @@ func (d *Detector) Fit(reference [][]float64) error {
 	d.fitted = true
 	return nil
 }
+
+// Width returns the fitted reference's feature count (0 before Fit) — the
+// row width Check expects, so streaming callers can validate at their own
+// boundary without a round trip through ErrRowWidth.
+func (d *Detector) Width() int { return len(d.refSorted) }
 
 // FeatureReport attributes one feature's contribution to a drift verdict.
 type FeatureReport struct {
@@ -187,6 +220,9 @@ func (d *Detector) Check(window [][]float64) (*Report, error) {
 	}
 	o := d.cfg.Obs
 	width := len(d.refSorted)
+	if err := validateRows(window, width, "window"); err != nil {
+		return nil, err
+	}
 	rep := &Report{
 		Features:  make([]FeatureReport, width),
 		KSPValues: make([]float64, width),
@@ -199,9 +235,6 @@ func (d *Detector) Check(window [][]float64) (*Report, error) {
 	var psiHits int
 	for j := 0; j < width; j++ {
 		for i, row := range window {
-			if len(row) != width {
-				return nil, fmt.Errorf("monitor: window row %d has %d features, want %d", i, len(row), width)
-			}
 			col[i] = row[j]
 		}
 		stat, p := KSTwoSample(d.refSorted[j], col)

@@ -340,3 +340,60 @@ func TestKSTwoSampleStatistic(t *testing.T) {
 		t.Errorf("disjoint samples: p = %v; want small", p)
 	}
 }
+
+// Satellite regression: malformed windows must fail with the typed
+// sentinels, never panic or silently skew the statistics.
+func TestCheckRejectsMalformedWindows(t *testing.T) {
+	det := New(Config{})
+	if err := det.Fit(gaussRows(100, 4, 0, nil, 42)); err != nil {
+		t.Fatal(err)
+	}
+	clean := func() [][]float64 { return gaussRows(20, 4, 0, nil, 43) }
+
+	t.Run("NaN", func(t *testing.T) {
+		w := clean()
+		w[7][2] = math.NaN()
+		if _, err := det.Check(w); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("Check(NaN window) = %v, want ErrNonFinite", err)
+		}
+	})
+	t.Run("Inf", func(t *testing.T) {
+		w := clean()
+		w[3][0] = math.Inf(-1)
+		if _, err := det.Check(w); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("Check(Inf window) = %v, want ErrNonFinite", err)
+		}
+	})
+	t.Run("NarrowRow", func(t *testing.T) {
+		w := clean()
+		w[5] = w[5][:2]
+		if _, err := det.Check(w); !errors.Is(err, ErrRowWidth) {
+			t.Fatalf("Check(narrow row) = %v, want ErrRowWidth", err)
+		}
+	})
+	t.Run("WideRow", func(t *testing.T) {
+		w := clean()
+		w[5] = append(append([]float64(nil), w[5]...), 1.0)
+		if _, err := det.Check(w); !errors.Is(err, ErrRowWidth) {
+			t.Fatalf("Check(wide row) = %v, want ErrRowWidth", err)
+		}
+	})
+	t.Run("CleanStillWorks", func(t *testing.T) {
+		if _, err := det.Check(clean()); err != nil {
+			t.Fatalf("Check(clean window) = %v", err)
+		}
+	})
+}
+
+func TestFitRejectsMalformedReference(t *testing.T) {
+	ref := gaussRows(100, 4, 0, nil, 7)
+	ref[11][1] = math.NaN()
+	if err := New(Config{}).Fit(ref); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Fit(NaN reference) = %v, want ErrNonFinite", err)
+	}
+	ref = gaussRows(100, 4, 0, nil, 8)
+	ref[20] = ref[20][:3]
+	if err := New(Config{}).Fit(ref); !errors.Is(err, ErrRowWidth) {
+		t.Fatalf("Fit(ragged reference) = %v, want ErrRowWidth", err)
+	}
+}

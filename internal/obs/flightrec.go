@@ -23,6 +23,7 @@ const (
 	FlightKindSwap    = "swap"    // bundle hot-swap (Detail = new bundle ID)
 	FlightKindPanic   = "panic"   // recovered panic (Name = site)
 	FlightKindMark    = "mark"    // free-form operator/test marker
+	FlightKindCtrl    = "ctrl"    // drift-controller transition (Name = event, Detail = context)
 )
 
 // FlightEvent is one ring entry. Events are immutable once published.

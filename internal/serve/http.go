@@ -56,6 +56,9 @@ type Server struct {
 
 	slo         *obs.SLOSet
 	burnWindows []time.Duration
+
+	ingest     IngestSink // nil: /v1/ingest answers 503
+	ctrlStatus func() any // nil: no controller section on /v1/status
 }
 
 // NewServer builds the serving handler tree. o may be nil (metrics off,
@@ -66,6 +69,7 @@ func NewServer(reg *Registry, co *Coalescer, o *obs.Observer) *Server {
 	s := &Server{reg: reg, co: co, o: o, mux: http.NewServeMux()}
 	s.ConfigureSLO(obs.SLO{})
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
@@ -388,11 +392,15 @@ type StatusReport struct {
 	Health HealthReport `json:"health"`
 	SLO    SLOStatus    `json:"slo"`
 	Flight FlightStatus `json:"flight_recorder"`
+	Ctrl   any          `json:"ctrl,omitempty"`
 }
 
 // Status assembles the /v1/status report.
 func (s *Server) Status() StatusReport {
 	rep := StatusReport{Health: s.Health()}
+	if s.ctrlStatus != nil {
+		rep.Ctrl = s.ctrlStatus()
+	}
 	rep.SLO.Objective = s.slo.Objective()
 	for _, wd := range s.burnWindows {
 		rep.SLO.Windows = append(rep.SLO.Windows, wd.String())

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// EndpointIngest is the SLO tracker key for the telemetry ingest path.
+const EndpointIngest = "/v1/ingest"
+
+// ErrIngestRejected is the sentinel an IngestSink wraps for client-side
+// rejections (bad width, non-finite values, missing labels) — the handler
+// maps it to 400; any other sink error is a 500.
+var ErrIngestRejected = errors.New("serve: ingest rejected")
+
+// IngestRequest is the POST /v1/ingest payload: raw target-domain
+// telemetry rows, optionally labelled. Labels drive the controller's
+// few-shot reservoir; label -1 marks an unlabelled row (drift monitoring
+// only). Omitting labels entirely means all rows are unlabelled.
+type IngestRequest struct {
+	Rows   [][]float64 `json:"rows"`
+	Labels []int       `json:"labels,omitempty"`
+}
+
+// IngestSummary is the POST /v1/ingest reply: what the sink did with the
+// batch and where the drift-response loop stands.
+type IngestSummary struct {
+	Accepted      int    `json:"accepted"`
+	Phase         string `json:"phase,omitempty"`
+	DriftStreak   int    `json:"drift_streak,omitempty"`
+	ReservoirRows int    `json:"reservoir_rows,omitempty"`
+}
+
+// IngestSink consumes telemetry batches — implemented by ctrl.Controller.
+// Implementations must be safe for concurrent calls.
+type IngestSink interface {
+	IngestRows(rows [][]float64, labels []int) (IngestSummary, error)
+}
+
+// SetIngest wires the drift-controller ingest sink behind POST /v1/ingest.
+// Call before serving starts; nil (the default) makes the endpoint answer
+// 503.
+func (s *Server) SetIngest(sink IngestSink) { s.ingest = sink }
+
+// SetCtrlStatus adds a drift-controller section to /v1/status. fn is
+// called per status request; nil omits the section.
+func (s *Server) SetCtrlStatus(fn func() any) { s.ctrlStatus = fn }
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	outcome := func(isErr bool) {
+		s.slo.Observe(EndpointIngest, time.Since(start).Seconds(), isErr)
+	}
+	if s.ingest == nil {
+		outcome(true)
+		httpError(w, http.StatusServiceUnavailable, "no drift controller attached (start with -ctrl)")
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		outcome(true)
+		httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	sum, err := s.ingest.IngestRows(req.Rows, req.Labels)
+	switch {
+	case errors.Is(err, ErrIngestRejected):
+		outcome(true)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		outcome(true)
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	outcome(false)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sum)
+}

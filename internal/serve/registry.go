@@ -33,6 +33,12 @@ const (
 	FaultSiteHandler = "http.adapt"
 )
 
+func init() {
+	fault.RegisterSite(FaultSiteLoad, "Registry.LoadFile, before the disk read")
+	fault.RegisterSite(FaultSiteExec, "coalescer batch executor, before the adaptation kernels")
+	fault.RegisterSite(FaultSiteHandler, "/v1/adapt handler, after decode, before Submit")
+}
+
 // Registry holds the live serving bundle behind an atomic pointer. Readers
 // (batch executors) take one snapshot of the pointer per micro-batch and
 // run the whole batch against it, so a concurrent Swap can never produce a
